@@ -1,0 +1,29 @@
+; dot product with a pointer-ambiguous accumulator writeback.
+; x and y are seeded with data directives; acc starts at zero.
+.double 0x1000, 1.25
+.double 0x1008, -0.5
+.double 0x9000, 0.5
+.double 0x9008, 4.0
+entry:
+    iconst r1, 0          ; i
+    iconst r2, 5000       ; n
+    iconst r3, 0x1000     ; x
+    iconst r4, 0x9000     ; y
+    iconst r5, 0x20000    ; acc pointer
+    jump body
+body:
+    fld f3, [r3+0]
+    fld f4, [r4+0]
+    fmul f5, f3, f4
+    fld f6, [r5+0]        ; accumulator load behind the stores below
+    fadd f6, f6, f5
+    fst f6, [r5+0]
+    fld f3, [r3+8]
+    fld f4, [r4+8]
+    fmul f5, f3, f4
+    fadd f6, f6, f5
+    fst f6, [r5+8]
+    addi r1, r1, 1
+    blt r1, r2, body, done
+done:
+    halt

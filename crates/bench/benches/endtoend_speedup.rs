@@ -1,0 +1,20 @@
+//! End-to-end harness timing: a full dynamic-optimization run (a compact
+//! slice of the Figure 15 evaluation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smarq_bench::{run_workload, EvalConfig};
+
+fn bench_endtoend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("endtoend");
+    g.sample_size(10);
+    for cfg in [EvalConfig::Baseline, EvalConfig::Smarq64] {
+        let w = smarq_workloads::scaled("swim", 2_000).unwrap();
+        g.bench_with_input(BenchmarkId::new("swim", cfg.name()), &cfg, |b, &cfg| {
+            b.iter(|| run_workload(std::hint::black_box(&w), cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_endtoend);
+criterion_main!(benches);

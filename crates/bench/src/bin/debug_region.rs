@@ -1,0 +1,21 @@
+use smarq_opt::OptConfig;
+use smarq_runtime::{DynOptSystem, SystemConfig};
+
+fn main() {
+    for (label, opt) in [
+        ("smarq64", OptConfig::smarq(64)),
+        ("smarq16", OptConfig::smarq(16)),
+        ("no-st-reorder", OptConfig::smarq_no_store_reorder(64)),
+    ] {
+        for name in ["ammp", "mesa"] {
+            let w = smarq_workloads::scaled(name, 3000).unwrap();
+            let mut sys = DynOptSystem::new(w.program.clone(), SystemConfig::with_opt(opt.clone()));
+            sys.run_to_completion(u64::MAX);
+            let s = sys.stats();
+            let r = s.per_region.iter().max_by_key(|r| r.entries).unwrap();
+            println!("{name:5} {label:14} cycles={:>8} rb={} retries={} ws={} checks={} antis={} amovs={} p={} mem={}",
+                s.total_cycles(), s.rollbacks, r.opt.overflow_retries, r.opt.working_set,
+                r.opt.checks, r.opt.antis, r.opt.amovs, r.opt.p_ops, r.opt.scheduled_mem_ops);
+        }
+    }
+}

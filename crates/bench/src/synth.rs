@@ -1,0 +1,56 @@
+//! Synthetic regions and schedules for the Criterion benches.
+
+use smarq::{DepGraph, MemKind, MemOpId, RegionSpec};
+
+/// Builds a region of `pairs` serialized store/load hoist pairs plus a
+/// shared tail of checking stores — a shape that exercises constraint
+/// derivation, rotation and delayed allocation.
+pub fn hoist_region(pairs: usize) -> (RegionSpec, DepGraph, Vec<MemOpId>) {
+    let mut region = RegionSpec::new();
+    let mut stores = Vec::new();
+    let mut loads = Vec::new();
+    for i in 0..pairs {
+        let st = region.push(MemKind::Store, (2 * i) as u32);
+        let ld = region.push(MemKind::Load, (2 * i + 1) as u32);
+        region.set_may_alias(st, ld, true);
+        if i > 0 {
+            // Each load may also alias the previous pair's store, chaining
+            // the live ranges.
+            region.set_may_alias(stores[i - 1], ld, true);
+        }
+        stores.push(st);
+        loads.push(ld);
+    }
+    let deps = DepGraph::compute(&region);
+    // Hoist every load above its pair's store.
+    let mut schedule = Vec::with_capacity(pairs * 2);
+    for i in 0..pairs {
+        schedule.push(loads[i]);
+        schedule.push(stores[i]);
+    }
+    (region, deps, schedule)
+}
+
+/// A region with speculative load eliminations sprinkled in (exercises
+/// extended dependences, anti-constraints and AMOV insertion).
+pub fn elim_region(groups: usize) -> (RegionSpec, DepGraph, Vec<MemOpId>) {
+    let mut region = RegionSpec::new();
+    let mut schedule = Vec::new();
+    for g in 0..groups {
+        let base = (g * 10) as u32;
+        let src = region.push(MemKind::Load, base); // forwarding source
+        let st = region.push(MemKind::Store, base + 1); // may-alias store
+        let dead = region.push(MemKind::Load, base); // eliminated
+        let chk = region.push(MemKind::Store, base + 2); // hoist target
+        let tail = region.push(MemKind::Load, base + 3); // hoisted load
+        region.set_may_alias(src, st, true);
+        region.set_may_alias(st, dead, true);
+        region.set_may_alias(chk, tail, true);
+        region.set_may_alias(src, chk, true);
+        region.add_load_elim(src, dead);
+        // Schedule: src, tail hoisted above chk, st, chk.
+        schedule.extend([src, tail, st, chk]);
+    }
+    let deps = DepGraph::compute(&region);
+    (region, deps, schedule)
+}

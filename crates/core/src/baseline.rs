@@ -1,0 +1,422 @@
+//! Baseline alias register allocators (paper §2.4 and §6.2).
+//!
+//! The straightforward order-based allocation assigns alias registers to
+//! memory operations **in original program order**. It is correct for pure
+//! speculative *reordering* (every dependence, and hence every constraint,
+//! follows original order, so the constraint graph is trivially satisfied)
+//! but cannot handle speculative load/store elimination, whose extended
+//! dependences run backward. The paper uses it as the working-set baseline
+//! of Figure 17:
+//!
+//! * **all-ops** variant: every scheduled memory operation receives a
+//!   register — the figure's normalization baseline (working set =
+//!   number of memory operations);
+//! * **P-only** variant: only operations that must set a register (P bit)
+//!   receive one — the figure's first bar;
+//! * both variants optionally apply the `MAX-BASE` rotation rule
+//!   (paper §5.1) to release registers as early as possible; disabling
+//!   rotation is the ablation the paper argues against in §3.2.
+
+use crate::alloc::{AliasCode, AllocStats, Allocation, AmovInsn, OpAlias, RotateInsn};
+use crate::constraints::ConstraintGraph;
+use crate::deps::DepGraph;
+use crate::error::AllocError;
+use crate::ids::{MemOpId, Offset, Order};
+use crate::region::RegionSpec;
+
+/// Which operations receive alias registers in the program-order baseline.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BaselineScope {
+    /// Every scheduled memory operation (the paper's normalization
+    /// baseline for Figure 17).
+    AllOps,
+    /// Only operations that carry a P bit (Figure 17, first bar).
+    POnly,
+}
+
+/// Options for [`program_order_allocate`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BaselineOptions {
+    /// Register assignment scope.
+    pub scope: BaselineScope,
+    /// Apply `MAX-BASE` rotation to release registers early. Without it the
+    /// working set equals the total number of registers assigned.
+    pub rotate: bool,
+}
+
+impl Default for BaselineOptions {
+    fn default() -> Self {
+        BaselineOptions {
+            scope: BaselineScope::AllOps,
+            rotate: true,
+        }
+    }
+}
+
+/// Allocates alias registers in **original program order** (the
+/// straightforward order-based scheme the paper compares against).
+///
+/// # Errors
+///
+/// * [`AllocError::BadSchedule`] if the region contains speculative
+///   load/store eliminations: their backward extended dependences cannot be
+///   satisfied by program-order allocation (this is precisely the paper's
+///   motivation for SMARQ), or if the schedule is malformed.
+/// * [`AllocError::Overflow`] when the working set exceeds `num_regs`.
+///
+/// ```
+/// use smarq::{RegionSpec, MemKind, DepGraph};
+/// use smarq::baseline::{program_order_allocate, BaselineOptions};
+/// let mut r = RegionSpec::new();
+/// let st = r.push(MemKind::Store, 0);
+/// let ld = r.push(MemKind::Load, 0);
+/// let deps = DepGraph::compute(&r);
+/// let alloc = program_order_allocate(&r, &deps, &[ld, st], 64,
+///                                    BaselineOptions::default())?;
+/// assert_eq!(alloc.working_set(), 2); // one register per op, in order
+/// # Ok::<(), smarq::AllocError>(())
+/// ```
+pub fn program_order_allocate(
+    region: &RegionSpec,
+    deps: &DepGraph,
+    schedule: &[MemOpId],
+    num_regs: u32,
+    options: BaselineOptions,
+) -> Result<Allocation, AllocError> {
+    if let Some(e) = region.load_elims().first() {
+        return Err(AllocError::BadSchedule {
+            op: e.eliminated,
+            reason: "program-order allocation cannot handle load elimination",
+        });
+    }
+    if let Some(e) = region.store_elims().first() {
+        return Err(AllocError::BadSchedule {
+            op: e.eliminated,
+            reason: "program-order allocation cannot handle store elimination",
+        });
+    }
+    let n = region.len();
+    let mut pos = vec![usize::MAX; n];
+    for (i, &op) in schedule.iter().enumerate() {
+        if op.index() >= n {
+            return Err(AllocError::BadSchedule {
+                op,
+                reason: "op out of range for region",
+            });
+        }
+        if pos[op.index()] != usize::MAX {
+            return Err(AllocError::BadSchedule {
+                op,
+                reason: "op scheduled twice",
+            });
+        }
+        pos[op.index()] = i;
+    }
+
+    let graph = ConstraintGraph::derive(region, deps, schedule);
+
+    // Assign orders in ORIGINAL program order. In the AllOps (raw
+    // order-based) scheme every operation sets its own register and
+    // checkers scan from their own order (paper §2.4, Figure 4); in the
+    // POnly scheme only P-bit ops set registers and checkers scan from
+    // their earliest checkee.
+    let mut order = vec![None::<u64>; n];
+    let mut next = 0u64;
+    let mut sets_reg = vec![false; n];
+    for (id, _) in region.iter() {
+        let i = id.index();
+        if pos[i] == usize::MAX {
+            continue;
+        }
+        let scoped = match options.scope {
+            BaselineScope::AllOps => true,
+            BaselineScope::POnly => graph.p_bit(id),
+        };
+        if scoped {
+            order[i] = Some(next);
+            next += 1;
+            sets_reg[i] = true;
+        }
+    }
+    // Scan start for C-bit ops that do not set a register themselves
+    // (POnly scope only): the earliest checkee's order. In program order
+    // the checker precedes its checkees, so ops that do set a register
+    // scan safely from their own order.
+    for (id, _) in region.iter() {
+        let i = id.index();
+        if pos[i] == usize::MAX || sets_reg[i] || !graph.c_bit(id) {
+            continue;
+        }
+        let scan_start = graph
+            .checks()
+            .filter(|c| c.src == id)
+            .filter_map(|c| order[c.dst.index()])
+            .min();
+        order[i] = scan_start;
+    }
+
+    // need(X): the earliest register order instruction X still requires at
+    // its execution point (own register when it sets one, earliest checkee
+    // when it checks).
+    let need = |id: MemOpId| -> Option<u64> {
+        let i = id.index();
+        let own = if sets_reg[i] { order[i] } else { None };
+        let scan = if graph.c_bit(id) {
+            graph
+                .checks()
+                .filter(|c| c.src == id)
+                .filter_map(|c| order[c.dst.index()])
+                .min()
+        } else {
+            None
+        };
+        match (own, scan) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, None) => a,
+            (None, b) => b,
+        }
+    };
+
+    // MAX-BASE: base at position i = min need over instructions at >= i.
+    let mut base_at = vec![next; schedule.len() + 1];
+    for i in (0..schedule.len()).rev() {
+        let own = need(schedule[i]).unwrap_or(u64::MAX);
+        base_at[i] = base_at[i + 1].min(own);
+    }
+    if !options.rotate {
+        for b in &mut base_at {
+            *b = 0;
+        }
+    }
+
+    let mut per_op = vec![None; n];
+    let mut stats = AllocStats::default();
+    stats.mem_ops = schedule.len();
+    stats.checks = graph.checks().count();
+    stats.antis = graph.antis().count();
+    let mut working_set = 0u32;
+    let mut code = Vec::new();
+    for (i, &op) in schedule.iter().enumerate() {
+        let idx = op.index();
+        let p = sets_reg[idx];
+        let c = graph.c_bit(op);
+        let base = base_at[i];
+        let alias = if p || c {
+            let ord = if p {
+                order[idx].expect("P op in scope has an order")
+            } else {
+                // C-only (or out-of-scope) op scans from its earliest
+                // checkee; if it has none it needs no register at all.
+                match order[idx] {
+                    Some(o) => o,
+                    None => {
+                        code.push(AliasCode::Op {
+                            id: op,
+                            p_bit: false,
+                            c_bit: false,
+                            offset: None,
+                        });
+                        continue;
+                    }
+                }
+            };
+            if ord < base {
+                // The register this op must reach was already released:
+                // impossible under MAX-BASE (base is the min over the
+                // suffix, which includes this op).
+                unreachable!("MAX-BASE released a live register");
+            }
+            let off = ord - base;
+            if off >= num_regs as u64 {
+                return Err(AllocError::Overflow {
+                    offset: off as u32,
+                    num_regs,
+                });
+            }
+            working_set = working_set.max(off as u32 + 1);
+            if p {
+                stats.p_ops += 1;
+            }
+            if c {
+                stats.c_ops += 1;
+            }
+            Some(OpAlias {
+                p_bit: p,
+                c_bit: c,
+                order: Order(ord),
+                base: Order(base),
+                offset: Offset(off as u32),
+            })
+        } else {
+            None
+        };
+        per_op[idx] = alias;
+        code.push(AliasCode::Op {
+            id: op,
+            p_bit: p,
+            c_bit: c,
+            offset: alias.map(|a| a.offset),
+        });
+        let next_base = base_at[i + 1];
+        if next_base > base {
+            code.push(AliasCode::Rotate(RotateInsn {
+                amount: (next_base - base) as u32,
+            }));
+            stats.rotations += 1;
+        }
+    }
+
+    let final_checks = graph.checks().map(|c| (c.src, c.dst)).collect();
+    let _: Option<AmovInsn> = None; // baselines never emit AMOVs
+    Ok(Allocation::from_parts(
+        per_op,
+        code,
+        working_set,
+        stats,
+        final_checks,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::MemKind;
+    use crate::validate::validate_allocation;
+
+    /// Figure 7 region: M0..M5 loads/stores with deps
+    /// M0->M3, M0->M5, M1->M3, M2->M4 (paper Fig. 7(c)).
+    /// Schedule (Fig. 7 a/b): M3, M5, M0, M4, M1, M2... the paper schedule
+    /// is M3 M5 M0 M4 M2 M1? We use the published optimized order:
+    /// M3, M5, M0, M4, M1, M2 simplified to the constraint structure.
+    fn figure7() -> (RegionSpec, DepGraph, Vec<MemOpId>) {
+        let mut r = RegionSpec::new();
+        let m0 = r.push(MemKind::Store, 0);
+        let m1 = r.push(MemKind::Store, 1);
+        let m2 = r.push(MemKind::Store, 2);
+        let m3 = r.push(MemKind::Load, 3);
+        let m4 = r.push(MemKind::Load, 4);
+        let m5 = r.push(MemKind::Load, 5);
+        r.set_may_alias(m0, m3, true);
+        r.set_may_alias(m0, m5, true);
+        r.set_may_alias(m1, m3, true);
+        r.set_may_alias(m2, m4, true);
+        let deps = DepGraph::compute(&r);
+        (r, deps, vec![m3, m5, m0, m4, m1, m2])
+    }
+
+    #[test]
+    fn all_ops_baseline_uses_one_register_per_op() {
+        let (r, deps, sched) = figure7();
+        let alloc = program_order_allocate(
+            &r,
+            &deps,
+            &sched,
+            64,
+            BaselineOptions {
+                scope: BaselineScope::AllOps,
+                rotate: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(alloc.working_set(), 6);
+        validate_allocation(&r, &deps, &sched, &alloc).unwrap();
+    }
+
+    #[test]
+    fn rotation_shrinks_the_p_only_working_set() {
+        // Three serialized hoist pairs: with P/C bits and rotation a single
+        // alias register suffices (paper §3.2: rotation reduces usage and
+        // overflow risk); without rotation three registers are pinned.
+        let mut r = RegionSpec::new();
+        let mut pairs = Vec::new();
+        for i in 0..3 {
+            let s = r.push(MemKind::Store, 2 * i);
+            let l = r.push(MemKind::Load, 2 * i + 1);
+            r.set_may_alias(s, l, true);
+            pairs.push((s, l));
+        }
+        let deps = DepGraph::compute(&r);
+        let sched: Vec<_> = pairs.iter().flat_map(|&(s, l)| [l, s]).collect();
+        let mk = |rotate| BaselineOptions {
+            scope: BaselineScope::POnly,
+            rotate,
+        };
+        let without = program_order_allocate(&r, &deps, &sched, 64, mk(false)).unwrap();
+        let with = program_order_allocate(&r, &deps, &sched, 64, mk(true)).unwrap();
+        assert_eq!(without.working_set(), 3);
+        assert_eq!(with.working_set(), 1);
+        validate_allocation(&r, &deps, &sched, &with).unwrap();
+        validate_allocation(&r, &deps, &sched, &without).unwrap();
+    }
+
+    #[test]
+    fn all_ops_rotation_is_never_worse() {
+        let (r, deps, sched) = figure7();
+        let mk = |rotate| BaselineOptions {
+            scope: BaselineScope::AllOps,
+            rotate,
+        };
+        let without = program_order_allocate(&r, &deps, &sched, 64, mk(false)).unwrap();
+        let with = program_order_allocate(&r, &deps, &sched, 64, mk(true)).unwrap();
+        assert!(with.working_set() <= without.working_set());
+        validate_allocation(&r, &deps, &sched, &with).unwrap();
+    }
+
+    #[test]
+    fn p_only_baseline_is_smaller_than_all_ops() {
+        let (r, deps, sched) = figure7();
+        let all = program_order_allocate(
+            &r,
+            &deps,
+            &sched,
+            64,
+            BaselineOptions {
+                scope: BaselineScope::AllOps,
+                rotate: true,
+            },
+        )
+        .unwrap();
+        let ponly = program_order_allocate(
+            &r,
+            &deps,
+            &sched,
+            64,
+            BaselineOptions {
+                scope: BaselineScope::POnly,
+                rotate: true,
+            },
+        )
+        .unwrap();
+        assert!(ponly.working_set() <= all.working_set());
+        validate_allocation(&r, &deps, &sched, &ponly).unwrap();
+    }
+
+    #[test]
+    fn eliminations_are_rejected() {
+        let mut r = RegionSpec::new();
+        let s = r.push(MemKind::Store, 0);
+        let l = r.push(MemKind::Load, 0);
+        r.add_load_elim(s, l);
+        let deps = DepGraph::compute(&r);
+        let err =
+            program_order_allocate(&r, &deps, &[s], 64, BaselineOptions::default()).unwrap_err();
+        assert!(matches!(err, AllocError::BadSchedule { .. }));
+    }
+
+    #[test]
+    fn overflow_reported_against_small_files() {
+        let (r, deps, sched) = figure7();
+        let err = program_order_allocate(
+            &r,
+            &deps,
+            &sched,
+            2,
+            BaselineOptions {
+                scope: BaselineScope::AllOps,
+                rotate: false,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, AllocError::Overflow { num_regs: 2, .. }));
+    }
+}

@@ -1,0 +1,498 @@
+//! Check- and anti-constraint derivation — the paper's `CHECK-CONSTRAINT`
+//! and `ANTI-CONSTRAINT` rules (§4.1–§4.2).
+//!
+//! Given the dependences and a schedule:
+//!
+//! * **`CHECK-CONSTRAINT`** `X →check Y`: derived from `X →dep Y` when `Y`
+//!   precedes `X` after scheduling. `X` must check `Y`'s alias register —
+//!   so `C(X)`, `P(Y)`, and `order(X) ≤ order(Y)`.
+//! * **`ANTI-CONSTRAINT`** `X →anti Y`: derived from `X →dep Y` when `X`
+//!   precedes `Y` after scheduling, there is no `Y →check X`, `P(X)` and
+//!   `C(Y)`. `Y` must *not* check `X` — so `order(X) < order(Y)` — because
+//!   the pair may truly alias at runtime and a check would raise a false
+//!   positive alias exception (and an expensive region rollback) even
+//!   though the aliasing does not affect optimization correctness.
+//!
+//! This module implements the *batch* derivation used for analysis,
+//! statistics (the paper's Figure 19) and validation. The allocator in
+//! [`crate::alloc`] re-derives the same constraints *incrementally* as the
+//! list scheduler runs, exactly like the paper's Figure 13 algorithm.
+
+use crate::deps::DepGraph;
+use crate::ids::MemOpId;
+use crate::region::RegionSpec;
+
+/// The two constraint kinds.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ConstraintKind {
+    /// `X →check Y`: X must check Y's alias register (`order(X) ≤ order(Y)`).
+    Check,
+    /// `X →anti Y`: Y must not check X (`order(X) < order(Y)`).
+    Anti,
+}
+
+/// A derived constraint `src → dst` of the given kind.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Constraint {
+    /// Left-hand operation (`X`).
+    pub src: MemOpId,
+    /// Right-hand operation (`Y`).
+    pub dst: MemOpId,
+    /// Check or anti.
+    pub kind: ConstraintKind,
+}
+
+/// Aggregate constraint statistics (the paper's Figure 19 reports these
+/// normalized to the number of memory operations).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ConstraintStats {
+    /// Number of check-constraints.
+    pub checks: usize,
+    /// Number of anti-constraints.
+    pub antis: usize,
+    /// Number of scheduled memory operations considered.
+    pub mem_ops: usize,
+}
+
+impl ConstraintStats {
+    /// Check-constraints per memory operation.
+    pub fn checks_per_op(&self) -> f64 {
+        if self.mem_ops == 0 {
+            0.0
+        } else {
+            self.checks as f64 / self.mem_ops as f64
+        }
+    }
+
+    /// Anti-constraints per memory operation.
+    pub fn antis_per_op(&self) -> f64 {
+        if self.mem_ops == 0 {
+            0.0
+        } else {
+            self.antis as f64 / self.mem_ops as f64
+        }
+    }
+}
+
+/// The batch-derived constraint graph for a fixed schedule.
+#[derive(Clone, Debug, Default)]
+pub struct ConstraintGraph {
+    constraints: Vec<Constraint>,
+    p_bit: Vec<bool>,
+    c_bit: Vec<bool>,
+}
+
+impl ConstraintGraph {
+    /// Derives all check- and anti-constraints for `schedule`.
+    ///
+    /// `schedule` lists the surviving (non-eliminated) memory operations in
+    /// optimized execution order.
+    ///
+    /// # Panics
+    /// Panics if the schedule mentions an eliminated or out-of-range op.
+    pub fn derive(region: &RegionSpec, deps: &DepGraph, schedule: &[MemOpId]) -> Self {
+        let n = region.len();
+        let mut pos = vec![usize::MAX; n];
+        for (i, &op) in schedule.iter().enumerate() {
+            assert!(!region.is_eliminated(op), "eliminated op {op} in schedule");
+            assert!(pos[op.index()] == usize::MAX, "op {op} scheduled twice");
+            pos[op.index()] = i;
+        }
+
+        let mut constraints = Vec::new();
+        let mut p_bit = vec![false; n];
+        let mut c_bit = vec![false; n];
+
+        // CHECK-CONSTRAINT pass: X ->dep Y with Y before X in the schedule.
+        for d in deps.iter() {
+            let (px, py) = (pos[d.src.index()], pos[d.dst.index()]);
+            if px == usize::MAX || py == usize::MAX {
+                continue;
+            }
+            if py < px {
+                constraints.push(Constraint {
+                    src: d.src,
+                    dst: d.dst,
+                    kind: ConstraintKind::Check,
+                });
+                c_bit[d.src.index()] = true;
+                p_bit[d.dst.index()] = true;
+            }
+        }
+
+        // ANTI-CONSTRAINT pass (needs final P/C bits and the check set).
+        let has_check = |a: MemOpId, b: MemOpId, cs: &[Constraint]| {
+            cs.iter()
+                .any(|c| c.kind == ConstraintKind::Check && c.src == a && c.dst == b)
+        };
+        let mut antis = Vec::new();
+        for d in deps.iter() {
+            let (px, py) = (pos[d.src.index()], pos[d.dst.index()]);
+            if px == usize::MAX || py == usize::MAX {
+                continue;
+            }
+            if px < py
+                && !has_check(d.dst, d.src, &constraints)
+                && p_bit[d.src.index()]
+                && c_bit[d.dst.index()]
+            {
+                antis.push(Constraint {
+                    src: d.src,
+                    dst: d.dst,
+                    kind: ConstraintKind::Anti,
+                });
+            }
+        }
+        constraints.extend(antis);
+
+        ConstraintGraph {
+            constraints,
+            p_bit,
+            c_bit,
+        }
+    }
+
+    /// All constraints.
+    pub fn iter(&self) -> impl Iterator<Item = Constraint> + '_ {
+        self.constraints.iter().copied()
+    }
+
+    /// All check-constraints.
+    pub fn checks(&self) -> impl Iterator<Item = Constraint> + '_ {
+        self.constraints
+            .iter()
+            .copied()
+            .filter(|c| c.kind == ConstraintKind::Check)
+    }
+
+    /// All anti-constraints.
+    pub fn antis(&self) -> impl Iterator<Item = Constraint> + '_ {
+        self.constraints
+            .iter()
+            .copied()
+            .filter(|c| c.kind == ConstraintKind::Anti)
+    }
+
+    /// `true` when `x` sets an alias register (some op must check it).
+    pub fn p_bit(&self, x: MemOpId) -> bool {
+        self.p_bit[x.index()]
+    }
+
+    /// `true` when `x` checks alias registers.
+    pub fn c_bit(&self, x: MemOpId) -> bool {
+        self.c_bit[x.index()]
+    }
+
+    /// Whether a specific check-constraint exists.
+    pub fn has_check(&self, src: MemOpId, dst: MemOpId) -> bool {
+        self.constraints
+            .iter()
+            .any(|c| c.kind == ConstraintKind::Check && c.src == src && c.dst == dst)
+    }
+
+    /// Whether a specific anti-constraint exists.
+    pub fn has_anti(&self, src: MemOpId, dst: MemOpId) -> bool {
+        self.constraints
+            .iter()
+            .any(|c| c.kind == ConstraintKind::Anti && c.src == src && c.dst == dst)
+    }
+
+    /// Aggregate statistics over `mem_ops` scheduled operations.
+    pub fn stats(&self, mem_ops: usize) -> ConstraintStats {
+        ConstraintStats {
+            checks: self.checks().count(),
+            antis: self.antis().count(),
+            mem_ops,
+        }
+    }
+
+    /// `true` if the constraint graph (check + anti edges, in allocation
+    /// precedence direction `src` before `dst`) contains a cycle — the case
+    /// the allocator must break with an `AMOV` (paper §5.2).
+    pub fn has_cycle(&self, region_len: usize) -> bool {
+        // Kahn's algorithm over the op-indexed graph.
+        let mut indeg = vec![0usize; region_len];
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); region_len];
+        for c in &self.constraints {
+            adj[c.src.index()].push(c.dst.index());
+            indeg[c.dst.index()] += 1;
+        }
+        let mut stack: Vec<usize> = (0..region_len).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(u) = stack.pop() {
+            seen += 1;
+            for &v in &adj[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    stack.push(v);
+                }
+            }
+        }
+        seen != region_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::MemKind;
+
+    /// Figure 2/4 region: M0 st, M1 ld, M2 st, M3 ld with
+    /// M1↔M2, M3↔M0, M3↔M2 may-alias. Schedule: M3 M1 M2 M0.
+    fn figure2() -> (RegionSpec, DepGraph, Vec<MemOpId>) {
+        let mut r = RegionSpec::new();
+        let m0 = r.push(MemKind::Store, 0);
+        let m1 = r.push(MemKind::Load, 1);
+        let m2 = r.push(MemKind::Store, 2);
+        let m3 = r.push(MemKind::Load, 3);
+        r.set_may_alias(m1, m2, true);
+        r.set_may_alias(m3, m0, true);
+        r.set_may_alias(m3, m2, true);
+        let deps = DepGraph::compute(&r);
+        (r, deps, vec![m3, m1, m2, m0])
+    }
+
+    #[test]
+    fn figure2_checks_match_paper() {
+        let (r, deps, sched) = figure2();
+        let g = ConstraintGraph::derive(&r, &deps, &sched);
+        let (m0, m1, m2, m3) = (
+            MemOpId::new(0),
+            MemOpId::new(1),
+            MemOpId::new(2),
+            MemOpId::new(3),
+        );
+        // M2 st checks the hoisted M3 ld; M2 also checks... no: M1 was not
+        // reordered w.r.t. M2 (ld before st in both), dep m1->m2 with m1
+        // still earlier => no check. M0 hoisted *below*: M0 checks M3 (dep
+        // m0->m3 with m3 now before m0) and M0 checks... m2: no dep.
+        assert!(g.has_check(m2, m3));
+        assert!(g.has_check(m0, m3));
+        assert!(!g.has_check(m2, m1));
+        assert_eq!(g.checks().count(), 2);
+        // P on the hoisted load M3 only; C on the stores M2, M0.
+        assert!(g.p_bit(m3));
+        assert!(!g.p_bit(m1));
+        assert!(g.c_bit(m2));
+        assert!(g.c_bit(m0));
+        // Anti: m1 ->dep m2, m1 before m2 in schedule, but P(m1) is not set
+        // => no anti needed.
+        assert_eq!(g.antis().count(), 0);
+        assert!(!g.has_cycle(r.len()));
+    }
+
+    /// Figure 5/8: load elim creates a check between non-reordered ops and
+    /// an anti-constraint.
+    fn figure5() -> (RegionSpec, DepGraph, Vec<MemOpId>) {
+        let mut r = RegionSpec::new();
+        let m1 = r.push(MemKind::Load, 1); // ld [r1]
+        let m2 = r.push(MemKind::Load, 2); // ld [r0+4]
+        let m3 = r.push(MemKind::Store, 3); // st [r0]
+        let m4 = r.push(MemKind::Store, 4); // st [r1]
+        let m5 = r.push(MemKind::Load, 2); // ld [r0+4], eliminated
+        r.set_may_alias(m3, m2, true);
+        r.set_may_alias(m3, m5, true);
+        r.set_may_alias(m4, m1, true);
+        r.add_load_elim(m2, m5);
+        let deps = DepGraph::compute(&r);
+        // Not reordered: schedule is original order minus m5.
+        (r, deps, vec![m1, m2, m3, m4])
+    }
+
+    #[test]
+    fn figure8_extended_check_between_non_reordered_ops() {
+        let (r, deps, sched) = figure5();
+        let g = ConstraintGraph::derive(&r, &deps, &sched);
+        let (m1, m2, m3, m4) = (
+            MemOpId::new(0),
+            MemOpId::new(1),
+            MemOpId::new(2),
+            MemOpId::new(3),
+        );
+        // Extended dep m3 ->dep m2 with m2 scheduled before m3 gives the
+        // check m3 -> m2 even though they are not reordered.
+        assert!(g.has_check(m3, m2));
+        assert_eq!(g.checks().count(), 1);
+        // Anti-constraint m2 ->anti m3? m2 ->dep m3 (plain), m2 before m3,
+        // no m3->check... m3 DOES check m2 — the rule requires no
+        // *m2->check m3*... notation: anti X->anti Y needs no Y->check X.
+        // Here X=m2, Y=m3; m3->check m2 exists, so NO anti m2->m3.
+        assert!(!g.has_anti(m2, m3));
+        // Anti m1 ->anti m4? dep m1->m4, m1 before m4, no m4->check m1,
+        // but P(m1) is false => no anti. Matches paper: "There is also no
+        // anti-constraint M1 ->anti M4 because M1 does not have P bit."
+        assert!(!g.has_anti(m1, m4));
+        assert!(g.p_bit(m2));
+        assert!(g.c_bit(m3));
+    }
+
+    #[test]
+    fn anti_constraint_appears_when_checker_follows_producer() {
+        // Figure 10 scenario: two loads hoisted region where a later store
+        // with C bit follows a P-bit load it must not check.
+        // Build: M0 ld A, M1 ld B, M2 st B', M3 st A' with
+        //   M2 may-alias M1 (check after reorder), M3 may-alias M0,
+        //   and M2 may-alias M0 (must not be checked!).
+        let mut r = RegionSpec::new();
+        let m0 = r.push(MemKind::Load, 0);
+        let m1 = r.push(MemKind::Load, 1);
+        let m2 = r.push(MemKind::Store, 2);
+        let m3 = r.push(MemKind::Store, 3);
+        r.set_may_alias(m2, m1, true);
+        r.set_may_alias(m3, m0, true);
+        r.set_may_alias(m2, m0, true); // benign true aliasing
+        let deps = DepGraph::compute(&r);
+        // Schedule hoists nothing between m0/m2 but swaps m1 below m2?
+        // Keep order m1, m0, m2, m3 — m0/m1 swapped, so:
+        //   dep m0->dep m2 (m0 before m2 in schedule) + P(m0)? P(m0) comes
+        //   from m3 checking m0? m3 is after m0 in schedule, dep m0->m3...
+        // Simpler: hoist m0 and m1 above nothing; instead schedule
+        // m1, m0, m2, m3 and eliminate nothing. Then checks arise only from
+        // swapped pairs: (m0, m1) have no dep (two loads). No checks at all.
+        // To make P(m0) true we hoist m0 above a store it may alias... build
+        // a cleaner case below instead.
+        let _ = deps;
+
+        let mut r = RegionSpec::new();
+        let s0 = r.push(MemKind::Store, 9); // st X
+        let l = r.push(MemKind::Load, 1); //  ld A   (will hoist above s0)
+        let s1 = r.push(MemKind::Store, 2); // st B  (C bit via another check)
+        let l2 = r.push(MemKind::Load, 3); // ld C   (hoisted above s1)
+        r.set_may_alias(s0, l, true); // hoisting l above s0 => s0 checks l => P(l)
+        r.set_may_alias(s1, l2, true); // hoisting l2 above s1 => s1 checks l2 => C(s1)
+        r.set_may_alias(l, s1, true); // dep l->s1, not reordered => anti l->s1
+        let deps = DepGraph::compute(&r);
+        let sched = vec![l, l2, s0, s1]; // hoist both loads to the top
+        let g = ConstraintGraph::derive(&r, &deps, &sched);
+        assert!(g.has_check(s0, l));
+        assert!(g.has_check(s1, l2));
+        assert!(g.has_anti(l, s1));
+        assert_eq!(g.antis().count(), 1);
+        let st = g.stats(sched.len());
+        assert_eq!(st.checks, 2);
+        assert_eq!(st.antis, 1);
+        assert!((st.checks_per_op() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycle_detection_on_figure12_shape() {
+        // Paper Figure 9/12: store elimination produces a constraint cycle.
+        // M1 ld [r1]; M2 st [r4]; M3 st [r2]; M4 st [r4]; M5 ld [r0+4];
+        // M0 (first op) st [r0+4] eliminated, overwritten by M4? We model
+        // the published constraint shape directly:
+        //   checks: M5 -> M4 (reorder), M4 -> M1 (extended), anti M1 -> ...
+        // Build concretely:
+        //   A: st P (eliminated, overwritten by D)
+        //   B: ld Q (may alias D)   — between A and D
+        //   C: st Q' hoist target
+        //   D: st P (overwriter), scheduled before... we need a cycle:
+        // check X->Y and path Y->...->X via anti.
+        let mut r = RegionSpec::new();
+        let a = r.push(MemKind::Store, 0); // eliminated store
+        let b = r.push(MemKind::Load, 1); // load between, may-alias overwriter
+        let d = r.push(MemKind::Store, 2); // overwriter
+        let e = r.push(MemKind::Load, 3); // load after, hoisted above d
+        r.set_may_alias(d, b, true); // extended dep d->b
+        r.set_may_alias(d, e, true); // dep d->e; hoist e above d => e? no:
+                                     // dep d->dep e, e before d after sched
+                                     // => check d ... X=d? X->dep Y = d->e;
+                                     // Y=e precedes X=d => d ->check e. C(d),P(e).
+        r.set_may_alias(b, e, false);
+        r.add_store_elim(a, d);
+        let deps = DepGraph::compute(&r);
+        assert!(deps.has_dep(d, b)); // extended
+                                     // Schedule: b, e, d  (e hoisted above d; b stays first).
+        let sched = vec![b, e, d];
+        let g = ConstraintGraph::derive(&r, &deps, &sched);
+        // d checks e (reordered) and d checks b (extended, non-reordered).
+        assert!(g.has_check(d, e));
+        assert!(g.has_check(d, b));
+        // anti: b ->anti ...? P(b) set (d checks b). C(b)? no. Look for
+        // anti e->d? dep? none. The cycle in the paper needs one more op —
+        // covered in alloc.rs tests; here just ensure no bogus cycle.
+        assert!(!g.has_cycle(r.len()));
+    }
+}
+
+impl ConstraintGraph {
+    /// Renders the constraint graph in Graphviz `dot` format: solid edges
+    /// for check-constraints, dashed for anti-constraints, P/C bits in the
+    /// node labels. Handy for visualizing the paper's Figures 7(d), 8(b)
+    /// and 12.
+    ///
+    /// ```
+    /// use smarq::{RegionSpec, MemKind, DepGraph, ConstraintGraph};
+    /// let mut r = RegionSpec::new();
+    /// let st = r.push(MemKind::Store, 0);
+    /// let ld = r.push(MemKind::Load, 0);
+    /// let deps = DepGraph::compute(&r);
+    /// let g = ConstraintGraph::derive(&r, &deps, &[ld, st]);
+    /// let dot = g.to_dot(&r);
+    /// assert!(dot.contains("digraph"));
+    /// assert!(dot.contains("M0 -> M1"));
+    /// ```
+    pub fn to_dot(&self, region: &crate::region::RegionSpec) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph constraints {\n");
+        out.push_str("  rankdir=LR;\n");
+        for (id, op) in region.iter() {
+            if region.is_eliminated(id) {
+                continue;
+            }
+            let bits = match (self.p_bit(id), self.c_bit(id)) {
+                (true, true) => " [P,C]",
+                (true, false) => " [P]",
+                (false, true) => " [C]",
+                (false, false) => "",
+            };
+            let _ = writeln!(out, "  {id} [label=\"{id}: {}{bits}\"];", op.kind);
+        }
+        for c in self.iter() {
+            let style = match c.kind {
+                ConstraintKind::Check => "solid",
+                ConstraintKind::Anti => "dashed",
+            };
+            let _ = writeln!(out, "  {} -> {} [style={style}];", c.src, c.dst);
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod dot_tests {
+    use super::*;
+    use crate::region::{MemKind, RegionSpec};
+
+    #[test]
+    fn dot_marks_bits_and_edge_styles() {
+        let mut r = RegionSpec::new();
+        let s0 = r.push(MemKind::Store, 9);
+        let l = r.push(MemKind::Load, 1);
+        let s1 = r.push(MemKind::Store, 2);
+        let l2 = r.push(MemKind::Load, 3);
+        r.set_may_alias(s0, l, true);
+        r.set_may_alias(s1, l2, true);
+        r.set_may_alias(l, s1, true);
+        let deps = crate::deps::DepGraph::compute(&r);
+        let g = ConstraintGraph::derive(&r, &deps, &[l, l2, s0, s1]);
+        let dot = g.to_dot(&r);
+        assert!(dot.contains("M1: ld [P]"));
+        assert!(dot.contains("M2: st [C]"));
+        assert!(dot.contains("[style=solid]"));
+        assert!(dot.contains("[style=dashed]"), "anti edge rendered: {dot}");
+    }
+
+    #[test]
+    fn dot_skips_eliminated_ops() {
+        let mut r = RegionSpec::new();
+        let s = r.push(MemKind::Store, 0);
+        let z = r.push(MemKind::Load, 0);
+        r.add_load_elim(s, z);
+        let deps = crate::deps::DepGraph::compute(&r);
+        let g = ConstraintGraph::derive(&r, &deps, &[s]);
+        let dot = g.to_dot(&r);
+        assert!(dot.contains("M0"));
+        assert!(!dot.contains("M1 ["));
+    }
+}

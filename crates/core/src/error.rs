@@ -1,0 +1,179 @@
+//! Error types.
+
+use crate::ids::MemOpId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the alias register allocator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AllocError {
+    /// An operation appears in the schedule but was eliminated, or appears
+    /// twice, or is out of range for the region.
+    BadSchedule {
+        /// The offending operation.
+        op: MemOpId,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// The allocation requires more alias registers than the hardware has,
+    /// and the caller drove the allocator in a fixed schedule that left no
+    /// room to back off (the integrated scheduler avoids this by switching
+    /// to non-speculation mode).
+    Overflow {
+        /// Offset that exceeded the register file.
+        offset: u32,
+        /// Hardware register count.
+        num_regs: u32,
+    },
+    /// Internal invariant violation: the constraint graph still has
+    /// unallocated operations after the whole region was scheduled. This
+    /// indicates an unbroken constraint cycle and is a bug if it ever fires.
+    UnresolvedConstraints {
+        /// One of the stuck operations.
+        op: MemOpId,
+    },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::BadSchedule { op, reason } => {
+                write!(f, "bad schedule at {op}: {reason}")
+            }
+            AllocError::Overflow { offset, num_regs } => write!(
+                f,
+                "alias register overflow: offset {offset} with {num_regs} registers"
+            ),
+            AllocError::UnresolvedConstraints { op } => write!(
+                f,
+                "unresolved alias register constraints at region end (stuck at {op})"
+            ),
+        }
+    }
+}
+
+impl Error for AllocError {}
+
+/// Errors reported by the allocation validator
+/// ([`validate_allocation`](crate::validate::validate_allocation)).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A required alias detection (check-constraint) was not performed by
+    /// the hardware semantics.
+    MissingCheck {
+        /// The checking operation.
+        checker: MemOpId,
+        /// The operation whose alias register had to be checked.
+        checkee: MemOpId,
+    },
+    /// A prohibited alias detection (anti-constraint) would be performed —
+    /// a potential false positive.
+    FalsePositive {
+        /// The operation whose range is wrongly examined.
+        producer: MemOpId,
+        /// The operation that examines it.
+        checker: MemOpId,
+    },
+    /// An instruction references an alias register offset `>= num_regs`.
+    OffsetOutOfRange {
+        /// The operation (or AMOV source op) with the bad offset.
+        op: MemOpId,
+        /// The offending offset.
+        offset: u32,
+        /// Hardware register count.
+        num_regs: u32,
+    },
+    /// `order(X) = base(X) + offset(X)` does not hold.
+    OrderInvariantBroken {
+        /// The offending operation.
+        op: MemOpId,
+    },
+    /// A register was rotated out (released) while a later instruction still
+    /// had to check or move it.
+    PrematureRelease {
+        /// The operation whose register was released too early.
+        op: MemOpId,
+    },
+    /// The final orders violate REGISTER-ALLOCATION-RULE for a constraint.
+    OrderRuleViolated {
+        /// Constraint source.
+        src: MemOpId,
+        /// Constraint destination.
+        dst: MemOpId,
+        /// `true` for an anti-constraint (strict `<` required).
+        anti: bool,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::MissingCheck { checker, checkee } => {
+                write!(
+                    f,
+                    "required alias check {checker} -> {checkee} not performed"
+                )
+            }
+            ValidationError::FalsePositive { producer, checker } => write!(
+                f,
+                "prohibited alias check: {checker} examines {producer} (potential false positive)"
+            ),
+            ValidationError::OffsetOutOfRange {
+                op,
+                offset,
+                num_regs,
+            } => write!(
+                f,
+                "{op} references alias register offset {offset} but hardware has {num_regs}"
+            ),
+            ValidationError::OrderInvariantBroken { op } => {
+                write!(f, "order = base + offset broken at {op}")
+            }
+            ValidationError::PrematureRelease { op } => {
+                write!(f, "alias register of {op} released while still needed")
+            }
+            ValidationError::OrderRuleViolated { src, dst, anti } => {
+                let rel = if *anti { "<" } else { "<=" };
+                write!(
+                    f,
+                    "REGISTER-ALLOCATION-RULE violated: order({src}) {rel} order({dst}) required"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ValidationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = AllocError::Overflow {
+            offset: 64,
+            num_regs: 64,
+        };
+        let s = e.to_string();
+        assert!(s.contains("overflow"));
+        assert!(s.contains("64"));
+
+        let v = ValidationError::MissingCheck {
+            checker: MemOpId::new(1),
+            checkee: MemOpId::new(2),
+        };
+        assert_eq!(v.to_string(), "required alias check M1 -> M2 not performed");
+    }
+
+    #[test]
+    fn errors_implement_std_error() {
+        fn takes_err<E: Error + Send + Sync + 'static>(_e: E) {}
+        takes_err(AllocError::UnresolvedConstraints {
+            op: MemOpId::new(0),
+        });
+        takes_err(ValidationError::OrderInvariantBroken {
+            op: MemOpId::new(0),
+        });
+    }
+}

@@ -1,0 +1,125 @@
+//! Strongly typed identifiers used throughout the crate.
+
+use std::fmt;
+
+/// Identifier of a memory operation within a [`RegionSpec`].
+///
+/// Ids are dense indices assigned by [`RegionSpec::push`] in original program
+/// order, so `MemOpId(i)` is also the operation's original position.
+///
+/// [`RegionSpec`]: crate::RegionSpec
+/// [`RegionSpec::push`]: crate::RegionSpec::push
+///
+/// ```
+/// use smarq::{RegionSpec, MemKind};
+/// let mut r = RegionSpec::new();
+/// let m0 = r.push(MemKind::Load, 0);
+/// assert_eq!(m0.index(), 0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MemOpId(pub(crate) u32);
+
+impl MemOpId {
+    /// Creates an id from a raw dense index.
+    pub fn new(index: usize) -> Self {
+        MemOpId(index as u32)
+    }
+
+    /// The dense index (== original program position within the region).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for MemOpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M{}", self.0)
+    }
+}
+
+impl fmt::Display for MemOpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M{}", self.0)
+    }
+}
+
+/// An alias register *order*: the register's position in the conceptual
+/// unbounded circular queue, counted from `BASE = 0` at region entry.
+///
+/// Orders are independent of the hardware register count and satisfy the
+/// paper's invariant `order(X) = base(X) + offset(X)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Order(pub u64);
+
+impl Order {
+    /// The numeric order value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Order {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ord{}", self.0)
+    }
+}
+
+impl fmt::Display for Order {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An alias register *offset*: the register number relative to the `BASE`
+/// pointer at the instruction's execution point. This is what is encoded in
+/// the instruction; it must be smaller than the hardware alias register
+/// count.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Offset(pub u32);
+
+impl Offset {
+    /// The numeric offset value.
+    pub fn value(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Offset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "off{}", self.0)
+    }
+}
+
+impl fmt::Display for Offset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memop_id_roundtrip() {
+        let id = MemOpId::new(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(format!("{id}"), "M7");
+        assert_eq!(format!("{id:?}"), "M7");
+    }
+
+    #[test]
+    fn order_and_offset_display() {
+        assert_eq!(format!("{}", Order(3)), "3");
+        assert_eq!(format!("{:?}", Order(3)), "ord3");
+        assert_eq!(format!("{}", Offset(2)), "2");
+        assert_eq!(format!("{:?}", Offset(2)), "off2");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Order(1) < Order(2));
+        assert!(Offset(0) < Offset(9));
+        assert!(MemOpId::new(0) < MemOpId::new(1));
+    }
+}

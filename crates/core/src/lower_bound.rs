@@ -1,0 +1,136 @@
+//! Live-range lower bound on the alias register working set (paper §6.2).
+//!
+//! Given a check-constraint `X →check Y`, the alias register set by `Y`
+//! must stay alive from `Y`'s execution until `X`'s execution. As in
+//! traditional register allocation, the maximum number of live ranges
+//! crossing any program point lower-bounds the working set of *every*
+//! possible alias register allocation. The paper's Figure 17 uses this
+//! bound to show that SMARQ's constraint-order allocation is near optimal.
+
+use crate::constraints::ConstraintGraph;
+use crate::deps::DepGraph;
+use crate::ids::MemOpId;
+use crate::region::RegionSpec;
+
+/// Computes the live-range lower bound on the alias register working set
+/// for `schedule`.
+///
+/// Each operation with a P bit is live from its schedule position to the
+/// position of its last checker; the result is the maximum number of
+/// simultaneously live registers across all program points.
+///
+/// ```
+/// use smarq::{RegionSpec, MemKind, DepGraph, live_range_lower_bound};
+/// let mut r = RegionSpec::new();
+/// let st = r.push(MemKind::Store, 0);
+/// let ld = r.push(MemKind::Load, 0);
+/// let deps = DepGraph::compute(&r);
+/// // Hoist the load above the store: one register live between them.
+/// assert_eq!(live_range_lower_bound(&r, &deps, &[ld, st]), 1);
+/// ```
+pub fn live_range_lower_bound(region: &RegionSpec, deps: &DepGraph, schedule: &[MemOpId]) -> u32 {
+    let graph = ConstraintGraph::derive(region, deps, schedule);
+    let mut pos = vec![usize::MAX; region.len()];
+    for (i, &op) in schedule.iter().enumerate() {
+        pos[op.index()] = i;
+    }
+    // Live range of each P op: [its position, last checker's position].
+    let mut ranges: Vec<(usize, usize)> = Vec::new();
+    for (id, _) in region.iter() {
+        if !graph.p_bit(id) || pos[id.index()] == usize::MAX {
+            continue;
+        }
+        let start = pos[id.index()];
+        let end = graph
+            .checks()
+            .filter(|c| c.dst == id)
+            .map(|c| pos[c.src.index()])
+            .max();
+        if let Some(end) = end {
+            ranges.push((start, end));
+        }
+    }
+    // Maximum overlap: sweep.
+    let mut events: Vec<(usize, i32)> = Vec::new();
+    for &(s, e) in &ranges {
+        events.push((s, 1));
+        events.push((e + 1, -1));
+    }
+    events.sort();
+    let mut cur = 0i32;
+    let mut max = 0i32;
+    for (_, d) in events {
+        cur += d;
+        max = max.max(cur);
+    }
+    max as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::MemKind;
+
+    #[test]
+    fn empty_region_has_zero_bound() {
+        let r = RegionSpec::new();
+        let deps = DepGraph::compute(&r);
+        assert_eq!(live_range_lower_bound(&r, &deps, &[]), 0);
+    }
+
+    #[test]
+    fn no_speculation_means_zero_bound() {
+        let mut r = RegionSpec::new();
+        let a = r.push(MemKind::Store, 0);
+        let b = r.push(MemKind::Load, 0);
+        let deps = DepGraph::compute(&r);
+        // Program order: nothing reordered, no registers needed.
+        assert_eq!(live_range_lower_bound(&r, &deps, &[a, b]), 0);
+    }
+
+    #[test]
+    fn overlapping_hoists_stack_up() {
+        // Three loads hoisted above three stores they may alias, all ranges
+        // overlapping at the middle => bound 3.
+        let mut r = RegionSpec::new();
+        let s: Vec<_> = (0..3).map(|i| r.push(MemKind::Store, i)).collect();
+        let l: Vec<_> = (10..13).map(|i| r.push(MemKind::Load, i)).collect();
+        for i in 0..3 {
+            r.set_may_alias(s[i], l[i], true);
+        }
+        let deps = DepGraph::compute(&r);
+        let sched = vec![l[0], l[1], l[2], s[0], s[1], s[2]];
+        assert_eq!(live_range_lower_bound(&r, &deps, &sched), 3);
+    }
+
+    #[test]
+    fn disjoint_hoists_do_not_stack() {
+        // Two independent hoist pairs, serialized: bound 1.
+        let mut r = RegionSpec::new();
+        let s0 = r.push(MemKind::Store, 0);
+        let l0 = r.push(MemKind::Load, 1);
+        let s1 = r.push(MemKind::Store, 2);
+        let l1 = r.push(MemKind::Load, 3);
+        r.set_may_alias(s0, l0, true);
+        r.set_may_alias(s1, l1, true);
+        let deps = DepGraph::compute(&r);
+        let sched = vec![l0, s0, l1, s1];
+        assert_eq!(live_range_lower_bound(&r, &deps, &sched), 1);
+    }
+
+    #[test]
+    fn bound_never_exceeds_smarq_working_set() {
+        // Sanity on a mixed example: lower bound <= SMARQ's working set.
+        let mut r = RegionSpec::new();
+        let s: Vec<_> = (0..4).map(|i| r.push(MemKind::Store, i)).collect();
+        let l: Vec<_> = (10..14).map(|i| r.push(MemKind::Load, i)).collect();
+        for i in 0..4 {
+            r.set_may_alias(s[i], l[i], true);
+        }
+        let deps = DepGraph::compute(&r);
+        let sched = vec![l[0], l[1], s[0], l[2], s[1], l[3], s[2], s[3]];
+        let lb = live_range_lower_bound(&r, &deps, &sched);
+        let alloc = crate::allocate(&r, &deps, &sched, 64).unwrap();
+        assert!(lb <= alloc.working_set());
+    }
+}

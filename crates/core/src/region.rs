@@ -1,0 +1,302 @@
+//! The allocator's view of an optimization region.
+//!
+//! SMARQ operates inside *superblock* regions formed by the dynamic
+//! optimizer. For alias-register purposes the only information that matters
+//! about a region is:
+//!
+//! * the memory operations, in **original program execution order**;
+//! * which pairs **may alias** (the optimizer's — deliberately simple —
+//!   alias analysis result);
+//! * which speculative **load/store eliminations** were applied, since those
+//!   create the paper's *extended dependences*.
+//!
+//! Everything else (non-memory instructions, values, addressing modes) is
+//! irrelevant here and stays in the front-end IR crate.
+
+use crate::ids::MemOpId;
+use std::fmt;
+
+/// Whether a memory operation reads or writes memory.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MemKind {
+    /// A memory read.
+    Load,
+    /// A memory write.
+    Store,
+}
+
+impl MemKind {
+    /// `true` for [`MemKind::Store`].
+    pub fn is_store(self) -> bool {
+        matches!(self, MemKind::Store)
+    }
+
+    /// `true` for [`MemKind::Load`].
+    pub fn is_load(self) -> bool {
+        matches!(self, MemKind::Load)
+    }
+}
+
+impl fmt::Display for MemKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemKind::Load => f.write_str("ld"),
+            MemKind::Store => f.write_str("st"),
+        }
+    }
+}
+
+/// A memory operation inside a region.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemOp {
+    /// Load or store.
+    pub kind: MemKind,
+    /// An opaque location class used by the *default* may-alias relation:
+    /// two operations with the same class are assumed to **must** alias,
+    /// different classes to **not** alias, unless overridden with
+    /// [`RegionSpec::set_may_alias`]. Front ends that run a real alias
+    /// analysis typically give every op a distinct class and set explicit
+    /// pairs.
+    pub loc_class: u32,
+}
+
+/// A speculative load elimination record.
+///
+/// The load `eliminated` was removed by forwarding the value produced or
+/// loaded by the earlier operation `source` (paper §4.1,
+/// `EXTENDED-DEPENDENCE 1`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LoadElim {
+    /// The earlier operation (load or store) whose value is forwarded.
+    pub source: MemOpId,
+    /// The eliminated load. It no longer appears in the schedule.
+    pub eliminated: MemOpId,
+}
+
+/// A speculative store elimination record.
+///
+/// The store `eliminated` was removed because the later store `overwriter`
+/// writes the same location (paper §4.1, `EXTENDED-DEPENDENCE 2`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StoreElim {
+    /// The eliminated (earlier) store. It no longer appears in the schedule.
+    pub eliminated: MemOpId,
+    /// The later store that overwrites the same location.
+    pub overwriter: MemOpId,
+}
+
+/// A region description: memory operations in original order, the may-alias
+/// relation, and the speculative eliminations that were applied.
+///
+/// ```
+/// use smarq::{RegionSpec, MemKind};
+/// let mut r = RegionSpec::new();
+/// let a = r.push(MemKind::Store, 0);
+/// let b = r.push(MemKind::Load, 1);
+/// r.set_may_alias(a, b, true);
+/// assert!(r.may_alias(a, b));
+/// assert!(!r.may_alias(a, a) || true); // self-aliasing is not queried
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct RegionSpec {
+    ops: Vec<MemOp>,
+    /// Upper-triangle may-alias overrides, keyed by (min, max) index.
+    overrides: std::collections::HashMap<(u32, u32), bool>,
+    load_elims: Vec<LoadElim>,
+    store_elims: Vec<StoreElim>,
+}
+
+impl RegionSpec {
+    /// Creates an empty region.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a memory operation in original program order and returns its
+    /// id. `loc_class` feeds the default may-alias relation (see
+    /// [`MemOp::loc_class`]).
+    pub fn push(&mut self, kind: MemKind, loc_class: u32) -> MemOpId {
+        let id = MemOpId::new(self.ops.len());
+        self.ops.push(MemOp { kind, loc_class });
+        id
+    }
+
+    /// Number of memory operations (including eliminated ones).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when the region has no memory operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The operation record for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn op(&self, id: MemOpId) -> MemOp {
+        self.ops[id.index()]
+    }
+
+    /// Iterates over `(id, op)` pairs in original program order.
+    pub fn iter(&self) -> impl Iterator<Item = (MemOpId, MemOp)> + '_ {
+        self.ops
+            .iter()
+            .enumerate()
+            .map(|(i, &op)| (MemOpId::new(i), op))
+    }
+
+    /// Overrides the may-alias relation for a pair of operations.
+    ///
+    /// The relation is symmetric; the order of `a` and `b` does not matter.
+    ///
+    /// # Panics
+    /// Panics if `a == b` — self-aliasing is meaningless here.
+    pub fn set_may_alias(&mut self, a: MemOpId, b: MemOpId, may: bool) {
+        assert_ne!(a, b, "self may-alias override is meaningless");
+        let key = (a.0.min(b.0), a.0.max(b.0));
+        self.overrides.insert(key, may);
+    }
+
+    /// Whether two distinct operations may access the same memory.
+    ///
+    /// Defaults to `loc_class` equality; explicit overrides from
+    /// [`RegionSpec::set_may_alias`] win.
+    pub fn may_alias(&self, a: MemOpId, b: MemOpId) -> bool {
+        if a == b {
+            return true;
+        }
+        let key = (a.0.min(b.0), a.0.max(b.0));
+        match self.overrides.get(&key) {
+            Some(&m) => m,
+            None => self.ops[a.index()].loc_class == self.ops[b.index()].loc_class,
+        }
+    }
+
+    /// Records a speculative load elimination (see [`LoadElim`]).
+    ///
+    /// # Panics
+    /// Panics if `eliminated` is not a load, or does not come after `source`
+    /// in original order.
+    pub fn add_load_elim(&mut self, source: MemOpId, eliminated: MemOpId) {
+        assert!(
+            self.op(eliminated).kind.is_load(),
+            "eliminated op must be a load"
+        );
+        assert!(
+            source < eliminated,
+            "forwarding source must precede the eliminated load"
+        );
+        self.load_elims.push(LoadElim { source, eliminated });
+    }
+
+    /// Records a speculative store elimination (see [`StoreElim`]).
+    ///
+    /// # Panics
+    /// Panics if either op is not a store, or `overwriter` does not come
+    /// after `eliminated` in original order.
+    pub fn add_store_elim(&mut self, eliminated: MemOpId, overwriter: MemOpId) {
+        assert!(
+            self.op(eliminated).kind.is_store() && self.op(overwriter).kind.is_store(),
+            "store elimination involves two stores"
+        );
+        assert!(
+            eliminated < overwriter,
+            "overwriting store must follow the eliminated store"
+        );
+        self.store_elims.push(StoreElim {
+            eliminated,
+            overwriter,
+        });
+    }
+
+    /// The recorded load eliminations.
+    pub fn load_elims(&self) -> &[LoadElim] {
+        &self.load_elims
+    }
+
+    /// The recorded store eliminations.
+    pub fn store_elims(&self) -> &[StoreElim] {
+        &self.store_elims
+    }
+
+    /// `true` if `id` was removed by a load or store elimination and is
+    /// therefore absent from the schedule.
+    pub fn is_eliminated(&self, id: MemOpId) -> bool {
+        self.load_elims.iter().any(|e| e.eliminated == id)
+            || self.store_elims.iter().any(|e| e.eliminated == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_alias_by_loc_class() {
+        let mut r = RegionSpec::new();
+        let a = r.push(MemKind::Load, 5);
+        let b = r.push(MemKind::Store, 5);
+        let c = r.push(MemKind::Store, 6);
+        assert!(r.may_alias(a, b));
+        assert!(!r.may_alias(a, c));
+        assert!(!r.may_alias(b, c));
+    }
+
+    #[test]
+    fn overrides_win_and_are_symmetric() {
+        let mut r = RegionSpec::new();
+        let a = r.push(MemKind::Load, 0);
+        let b = r.push(MemKind::Store, 1);
+        assert!(!r.may_alias(a, b));
+        r.set_may_alias(b, a, true);
+        assert!(r.may_alias(a, b));
+        assert!(r.may_alias(b, a));
+        r.set_may_alias(a, b, false);
+        assert!(!r.may_alias(b, a));
+    }
+
+    #[test]
+    fn elimination_bookkeeping() {
+        let mut r = RegionSpec::new();
+        let s = r.push(MemKind::Store, 0);
+        let l = r.push(MemKind::Load, 0);
+        let s2 = r.push(MemKind::Store, 0);
+        r.add_load_elim(s, l);
+        r.add_store_elim(s, s2);
+        assert!(r.is_eliminated(l));
+        assert!(r.is_eliminated(s));
+        assert!(!r.is_eliminated(s2));
+        assert_eq!(r.load_elims().len(), 1);
+        assert_eq!(r.store_elims().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "eliminated op must be a load")]
+    fn load_elim_rejects_store() {
+        let mut r = RegionSpec::new();
+        let s = r.push(MemKind::Store, 0);
+        let s2 = r.push(MemKind::Store, 0);
+        r.add_load_elim(s, s2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overwriting store must follow")]
+    fn store_elim_order_checked() {
+        let mut r = RegionSpec::new();
+        let s = r.push(MemKind::Store, 0);
+        let s2 = r.push(MemKind::Store, 0);
+        r.add_store_elim(s2, s);
+    }
+
+    #[test]
+    fn iteration_matches_original_order() {
+        let mut r = RegionSpec::new();
+        let ids: Vec<_> = (0..4).map(|i| r.push(MemKind::Load, i)).collect();
+        let collected: Vec<_> = r.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, collected);
+        assert_eq!(r.len(), 4);
+        assert!(!r.is_empty());
+    }
+}

@@ -1,0 +1,345 @@
+//! Allocator integration tests: the paper's worked examples and targeted
+//! scenarios for rotation, cycles and AMOV insertion.
+
+use smarq::baseline::{program_order_allocate, BaselineOptions, BaselineScope};
+use smarq::validate::validate_allocation;
+use smarq::{
+    allocate, AliasCode, Allocator, DepGraph, MemKind, MemOpId, RegionSpec, SchedulerMode,
+};
+
+/// Paper Figure 7: six memory ops, loads hoisted, rotation brings the
+/// working set down to 2 registers.
+fn figure7() -> (RegionSpec, DepGraph, Vec<MemOpId>) {
+    let mut r = RegionSpec::new();
+    let m0 = r.push(MemKind::Store, 0);
+    let m1 = r.push(MemKind::Store, 1);
+    let m2 = r.push(MemKind::Store, 2);
+    let m3 = r.push(MemKind::Load, 3);
+    let m4 = r.push(MemKind::Load, 4);
+    let m5 = r.push(MemKind::Load, 5);
+    r.set_may_alias(m0, m3, true);
+    r.set_may_alias(m0, m5, true);
+    r.set_may_alias(m1, m3, true);
+    r.set_may_alias(m2, m4, true);
+    let deps = DepGraph::compute(&r);
+    (r, deps, vec![m3, m5, m0, m4, m1, m2])
+}
+
+#[test]
+fn figure7_constraint_order_allocation_trace() {
+    let (r, deps, sched) = figure7();
+    let alloc = allocate(&r, &deps, &sched, 64).unwrap();
+    let op = |i: usize| alloc.op(MemOpId::new(i)).unwrap();
+
+    // P bits on the hoisted loads, C bits on the checking stores.
+    assert!(op(3).p_bit && !op(3).c_bit);
+    assert!(op(4).p_bit && !op(4).c_bit);
+    assert!(op(5).p_bit && !op(5).c_bit);
+    assert!(op(0).c_bit && !op(0).p_bit);
+    assert!(op(1).c_bit && !op(1).p_bit);
+    assert!(op(2).c_bit && !op(2).p_bit);
+
+    // Constraint-order allocation with delayed assignment + rotation:
+    // orders: m0=0 (C), m5=0, m1=1 (C), m3=1, m2=2 (C), m4=2.
+    assert_eq!(op(0).order.value(), 0);
+    assert_eq!(op(5).order.value(), 0);
+    assert_eq!(op(1).order.value(), 1);
+    assert_eq!(op(3).order.value(), 1);
+    assert_eq!(op(2).order.value(), 2);
+    assert_eq!(op(4).order.value(), 2);
+
+    // Offsets after rotation: two hardware registers suffice.
+    assert_eq!(op(3).offset.value(), 1);
+    assert_eq!(op(5).offset.value(), 0);
+    assert_eq!(op(0).offset.value(), 0);
+    assert_eq!(op(4).offset.value(), 1);
+    assert_eq!(op(1).offset.value(), 0);
+    assert_eq!(op(2).offset.value(), 0);
+    assert_eq!(alloc.working_set(), 2);
+
+    // order = base + offset invariant everywhere.
+    for i in 0..6 {
+        let a = op(i);
+        assert_eq!(a.order.value(), a.base.value() + a.offset.value() as u64);
+    }
+
+    // Three rotations (one after each completed allocation batch).
+    let rotations: Vec<u32> = alloc
+        .code()
+        .iter()
+        .filter_map(|c| match c {
+            AliasCode::Rotate(r) => Some(r.amount),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(rotations, vec![1, 1, 1]);
+
+    validate_allocation(&r, &deps, &sched, &alloc).unwrap();
+
+    // The paper's claim: this runs on 2 registers, while program-order
+    // allocation of the same region needs 3 (P-only) or 6 (all ops).
+    assert!(allocate(&r, &deps, &sched, 2).is_ok());
+    let ponly = program_order_allocate(
+        &r,
+        &deps,
+        &sched,
+        64,
+        BaselineOptions {
+            scope: BaselineScope::POnly,
+            rotate: true,
+        },
+    )
+    .unwrap();
+    assert!(alloc.working_set() <= ponly.working_set());
+}
+
+/// Builds a constraint cycle (paper §5.2, Figure 9/12 shape).
+///
+/// Original order (location in brackets; distinct letters never alias
+/// unless stated):
+///
+/// | op  | insn      | role                                                |
+/// |-----|-----------|-----------------------------------------------------|
+/// | c1  | st [A]    | forwards to the eliminated load z1                  |
+/// | s   | st [S]    | S may-alias B: checker of the hoisted x             |
+/// | s2  | st [S2]   | (optional) second checker of x, scheduled last      |
+/// | x   | ld [B]    | hoisted above s; forwards to the eliminated z2      |
+/// | v   | st [V]    | V may-alias B; hoisted above x                      |
+/// | z2  | ld [B]    | eliminated (forwarded from x)                       |
+/// | y   | st [C]    | C may-alias A and B; checker of c1 via extended dep |
+/// | z1  | ld [A]    | eliminated (forwarded from c1)                      |
+///
+/// Schedule: c1, v, x, s, y [, s2]. The edges y →check c1 (extended),
+/// c1 →anti x, and the late anti x →anti y close a cycle, which the
+/// allocator must break with an AMOV clearing/moving x's range.
+fn cycle_region(with_second_checker: bool) -> (RegionSpec, Vec<MemOpId>, MemOpId) {
+    let mut r = RegionSpec::new();
+    let c1 = r.push(MemKind::Store, 0); // st A
+    let s = r.push(MemKind::Store, 1); // st S
+    let s2 = if with_second_checker {
+        Some(r.push(MemKind::Store, 2)) // st S2
+    } else {
+        None
+    };
+    let x = r.push(MemKind::Load, 3); // ld B
+    let v = r.push(MemKind::Store, 4); // st V
+    let z2 = r.push(MemKind::Load, 3); // ld B (eliminated)
+    let y = r.push(MemKind::Store, 5); // st C
+    let z1 = r.push(MemKind::Load, 0); // ld A (eliminated)
+    r.set_may_alias(c1, x, true); // A ~ B (for the anti c1 -> x)
+    r.set_may_alias(s, x, true); // S ~ B (s checks the hoisted x)
+    r.set_may_alias(x, v, true); // B ~ V (x checks the hoisted v)
+    r.set_may_alias(v, z2, true);
+    r.set_may_alias(y, c1, true); // C ~ A (y checks c1: extended dep)
+    r.set_may_alias(y, z1, true);
+    r.set_may_alias(x, y, true); // B ~ C (the anti x -> y closing the cycle)
+    r.set_may_alias(s, z2, false);
+    r.set_may_alias(c1, z2, false);
+    r.set_may_alias(y, z2, false);
+    if let Some(s2) = s2 {
+        r.set_may_alias(s2, x, true); // S2 ~ B (unscheduled checker of x)
+        r.set_may_alias(s2, z2, false);
+        for other in [c1, s, v, y] {
+            r.set_may_alias(s2, other, false);
+        }
+    }
+    r.add_load_elim(x, z2);
+    r.add_load_elim(c1, z1);
+    let mut sched = vec![c1, v, x, s, y];
+    if let Some(s2) = s2 {
+        sched.push(s2);
+    }
+    (r, sched, x)
+}
+
+#[test]
+fn cycle_broken_by_cleanup_amov() {
+    let (r, sched, x) = cycle_region(false);
+    let deps = DepGraph::compute(&r);
+    let alloc = allocate(&r, &deps, &sched, 64).unwrap();
+    let stats = alloc.stats();
+    assert_eq!(stats.amovs, 1, "cycle must insert exactly one AMOV");
+    assert_eq!(stats.amov_moves, 0, "no unscheduled checker: pure clean-up");
+    let amov = alloc
+        .code()
+        .iter()
+        .find_map(|c| match c {
+            AliasCode::Amov(a) => Some(*a),
+            _ => None,
+        })
+        .unwrap();
+    assert!(!amov.is_move);
+    assert_eq!(amov.src_offset, amov.dst_offset);
+    assert_eq!(amov.moved_op, x, "x's range is cleaned up");
+    validate_allocation(&r, &deps, &sched, &alloc).unwrap();
+}
+
+#[test]
+fn cycle_broken_by_moving_amov() {
+    let (r, sched, x) = cycle_region(true);
+    let deps = DepGraph::compute(&r);
+    let alloc = allocate(&r, &deps, &sched, 64).unwrap();
+    let stats = alloc.stats();
+    assert_eq!(stats.amovs, 1);
+    assert_eq!(
+        stats.amov_moves, 1,
+        "the unscheduled s2 still needs x's range: real move"
+    );
+    let amov = alloc
+        .code()
+        .iter()
+        .find_map(|c| match c {
+            AliasCode::Amov(a) => Some(*a),
+            _ => None,
+        })
+        .unwrap();
+    assert!(amov.is_move);
+    assert_eq!(amov.moved_op, x);
+    validate_allocation(&r, &deps, &sched, &alloc).unwrap();
+}
+
+#[test]
+fn figure5_load_elimination_allocation() {
+    // Paper Figures 5/8/10/11: the forwarding load keeps its register live
+    // for the stores; the checker store that may truly alias the *other*
+    // load must not examine it.
+    let mut r = RegionSpec::new();
+    let m1 = r.push(MemKind::Load, 1);
+    let m2 = r.push(MemKind::Load, 2);
+    let m3 = r.push(MemKind::Store, 3);
+    let m4 = r.push(MemKind::Store, 4);
+    let m5 = r.push(MemKind::Load, 2);
+    r.set_may_alias(m3, m2, true);
+    r.set_may_alias(m3, m5, true);
+    r.set_may_alias(m4, m1, true);
+    r.add_load_elim(m2, m5);
+    let deps = DepGraph::compute(&r);
+    let sched = vec![m1, m2, m3, m4];
+    let alloc = allocate(&r, &deps, &sched, 64).unwrap();
+    // m2 sets (P), m3 checks it even though they are not reordered.
+    assert!(alloc.op(m2).unwrap().p_bit);
+    assert!(alloc.op(m3).unwrap().c_bit);
+    validate_allocation(&r, &deps, &sched, &alloc).unwrap();
+}
+
+#[test]
+fn incremental_driver_reports_mode_transitions() {
+    // Many overlapping hoists against a tiny register file: the allocator
+    // must raise NonSpeculation before the file overflows.
+    let mut r = RegionSpec::new();
+    let stores: Vec<_> = (0..6).map(|i| r.push(MemKind::Store, i)).collect();
+    let loads: Vec<_> = (10..16).map(|i| r.push(MemKind::Load, i)).collect();
+    for i in 0..6 {
+        r.set_may_alias(stores[i], loads[i], true);
+    }
+    let deps = DepGraph::compute(&r);
+    let mut a = Allocator::new(&r, &deps, 4);
+    assert_eq!(a.mode(), SchedulerMode::Speculation);
+    let mut saw_non_spec = false;
+    // Hoist all six loads first — pressure must cross the threshold.
+    for &l in &loads {
+        a.schedule_op(l).unwrap();
+        if a.mode() == SchedulerMode::NonSpeculation {
+            saw_non_spec = true;
+            break;
+        }
+    }
+    assert!(
+        saw_non_spec,
+        "six pending P registers must exceed a 4-register file"
+    );
+}
+
+#[test]
+fn speculation_mode_recovers_after_rotation() {
+    let mut r = RegionSpec::new();
+    let s0 = r.push(MemKind::Store, 0);
+    let l0 = r.push(MemKind::Load, 1);
+    let s1 = r.push(MemKind::Store, 2);
+    let l1 = r.push(MemKind::Load, 3);
+    r.set_may_alias(s0, l0, true);
+    r.set_may_alias(s1, l1, true);
+    let deps = DepGraph::compute(&r);
+    let mut a = Allocator::new(&r, &deps, 2);
+    a.schedule_op(l0).unwrap();
+    assert_eq!(a.mode(), SchedulerMode::Speculation);
+    a.schedule_op(s0).unwrap(); // releases l0's register via rotation
+    assert_eq!(a.mode(), SchedulerMode::Speculation);
+    a.schedule_op(l1).unwrap();
+    a.schedule_op(s1).unwrap();
+    let alloc = a.finish().unwrap();
+    assert_eq!(alloc.working_set(), 1);
+    validate_allocation(&r, &deps, &[l0, s0, l1, s1], &alloc).unwrap();
+}
+
+#[test]
+fn overflow_error_on_fixed_schedule() {
+    // Drive a fixed (already decided) schedule into a too-small file.
+    let mut r = RegionSpec::new();
+    let stores: Vec<_> = (0..4).map(|i| r.push(MemKind::Store, i)).collect();
+    let loads: Vec<_> = (10..14).map(|i| r.push(MemKind::Load, i)).collect();
+    for i in 0..4 {
+        r.set_may_alias(stores[i], loads[i], true);
+    }
+    let deps = DepGraph::compute(&r);
+    let mut sched: Vec<_> = loads.clone();
+    sched.extend(stores.iter().copied());
+    let err = allocate(&r, &deps, &sched, 2).unwrap_err();
+    assert!(matches!(
+        err,
+        smarq::AllocError::Overflow { num_regs: 2, .. }
+    ));
+    // With enough registers it succeeds and the working set is 4.
+    let alloc = allocate(&r, &deps, &sched, 64).unwrap();
+    assert_eq!(alloc.working_set(), 4);
+}
+
+#[test]
+fn bad_schedules_are_rejected() {
+    let mut r = RegionSpec::new();
+    let s = r.push(MemKind::Store, 0);
+    let l = r.push(MemKind::Load, 0);
+    r.add_load_elim(s, l);
+    let deps = DepGraph::compute(&r);
+    // Eliminated op scheduled.
+    assert!(allocate(&r, &deps, &[s, l], 64).is_err());
+    // Duplicate.
+    assert!(allocate(&r, &deps, &[s, s], 64).is_err());
+    // Missing op.
+    assert!(allocate(&r, &deps, &[], 64).is_err());
+    // Out of range.
+    assert!(allocate(&r, &deps, &[MemOpId::new(9)], 64).is_err());
+}
+
+#[test]
+fn stats_track_constraints_and_bits() {
+    let (r, deps, sched) = figure7();
+    let alloc = allocate(&r, &deps, &sched, 64).unwrap();
+    let s = alloc.stats();
+    assert_eq!(s.checks, 4); // m0->m3, m0->m5, m1->m3, m2->m4
+    assert_eq!(s.antis, 0);
+    assert_eq!(s.p_ops, 3);
+    assert_eq!(s.c_ops, 3);
+    assert_eq!(s.mem_ops, 6);
+    assert_eq!(s.rotations, 3);
+    assert_eq!(s.amovs, 0);
+    assert_eq!(alloc.final_checks().len(), 4);
+}
+
+#[test]
+fn program_order_schedule_needs_no_registers() {
+    // Nothing reordered, nothing eliminated: no P/C bits at all.
+    let mut r = RegionSpec::new();
+    let a = r.push(MemKind::Store, 0);
+    let b = r.push(MemKind::Load, 0);
+    let c = r.push(MemKind::Store, 0);
+    let deps = DepGraph::compute(&r);
+    let sched = vec![a, b, c];
+    let alloc = allocate(&r, &deps, &sched, 64).unwrap();
+    assert_eq!(alloc.working_set(), 0);
+    assert_eq!(alloc.stats().checks, 0);
+    for id in [a, b, c] {
+        assert!(alloc.op(id).is_none());
+    }
+    validate_allocation(&r, &deps, &sched, &alloc).unwrap();
+}

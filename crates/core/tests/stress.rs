@@ -1,0 +1,198 @@
+//! Scale stress: large regions must allocate quickly, validate, and keep
+//! every invariant — the allocator is meant to run inside a *dynamic*
+//! optimizer (paper Figure 18), so region-size scaling matters.
+
+use smarq::validate::validate_allocation;
+use smarq::{allocate, Allocator, DepGraph, MemKind, MemOpId, RegionSpec, SchedulerMode};
+use std::time::Instant;
+
+/// Deterministic pseudo-random generator (no external deps needed here).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// A large region: `n` memops in groups of store-batches followed by
+/// load-batches (the paper's superblock shape), with pseudo-random extra
+/// aliasing and a shuffled hoisting schedule.
+fn big_region(n: usize, seed: u64) -> (RegionSpec, Vec<MemOpId>) {
+    let mut rng = Lcg(seed | 1);
+    let mut region = RegionSpec::new();
+    let mut ids = Vec::with_capacity(n);
+    for i in 0..n {
+        let kind = if (i / 8) % 2 == 0 {
+            MemKind::Store
+        } else {
+            MemKind::Load
+        };
+        ids.push(region.push(kind, i as u32));
+    }
+    // Sparse random may-alias pairs (~4 per op).
+    for i in 0..n {
+        for _ in 0..4 {
+            let j = (rng.next() as usize) % n;
+            if i != j {
+                region.set_may_alias(ids[i], ids[j], true);
+            }
+        }
+    }
+    // Schedule: each load batch hoists above its preceding store batch.
+    let mut schedule = Vec::with_capacity(n);
+    let mut i = 0;
+    while i < n {
+        let store_end = (i + 8).min(n);
+        let load_end = (store_end + 8).min(n);
+        schedule.extend_from_slice(&ids[store_end..load_end]);
+        schedule.extend_from_slice(&ids[i..store_end]);
+        i = load_end;
+    }
+    (region, schedule)
+}
+
+#[test]
+fn four_hundred_memop_region_allocates_and_validates() {
+    let (region, schedule) = big_region(400, 7);
+    let deps = DepGraph::compute(&region);
+    let start = Instant::now();
+    let alloc = allocate(&region, &deps, &schedule, u32::MAX).unwrap();
+    let elapsed = start.elapsed();
+    validate_allocation(&region, &deps, &schedule, &alloc).unwrap();
+    assert!(alloc.stats().mem_ops == 400);
+    // The paper's point (Fig. 18): allocation must be cheap. Even in debug
+    // builds a 400-op region should take well under a second.
+    assert!(
+        elapsed.as_secs() < 5,
+        "allocation took {elapsed:?} — far too slow for a dynamic optimizer"
+    );
+}
+
+#[test]
+fn several_seeds_validate() {
+    for seed in [1u64, 99, 12345] {
+        let (region, schedule) = big_region(120, seed);
+        let deps = DepGraph::compute(&region);
+        let alloc = allocate(&region, &deps, &schedule, u32::MAX).unwrap();
+        validate_allocation(&region, &deps, &schedule, &alloc).unwrap();
+    }
+}
+
+#[test]
+fn incremental_driver_mode_oscillates_under_pressure() {
+    // A mode-aware driver (mimicking the embedding list scheduler): two
+    // windows of 16 stores + 16 loads; the driver hoists loads while the
+    // allocator reports Speculation and falls back to program order when
+    // it trips. With a 10-register file the 16-load window must trip the
+    // mode mid-window, and rotation must recover it for the next window.
+    let mut region = RegionSpec::new();
+    let mut stores = Vec::new();
+    let mut loads = Vec::new();
+    for w in 0..2 {
+        let s: Vec<_> = (0..16)
+            .map(|i| region.push(MemKind::Store, w * 100 + i))
+            .collect();
+        let l: Vec<_> = (0..16)
+            .map(|i| region.push(MemKind::Load, w * 100 + 50 + i))
+            .collect();
+        for &st in &s {
+            for &ld in &l {
+                region.set_may_alias(st, ld, true);
+            }
+        }
+        stores.push(s);
+        loads.push(l);
+    }
+    let deps = DepGraph::compute(&region);
+    let mut a = Allocator::new(&region, &deps, 10);
+    let mut schedule = Vec::new();
+    let mut saw_non_spec = false;
+    let mut returned_to_spec = false;
+    for w in 0..2 {
+        let mut hoisted = 0;
+        for &ld in &loads[w] {
+            if a.mode() == SchedulerMode::NonSpeculation {
+                saw_non_spec = true;
+                break;
+            }
+            a.schedule_op(ld).unwrap();
+            schedule.push(ld);
+            hoisted += 1;
+        }
+        for &st in &stores[w] {
+            a.schedule_op(st).unwrap();
+            schedule.push(st);
+        }
+        for &ld in &loads[w][hoisted..] {
+            a.schedule_op(ld).unwrap();
+            schedule.push(ld);
+        }
+        if saw_non_spec && a.mode() == SchedulerMode::Speculation {
+            returned_to_spec = true;
+        }
+    }
+    let alloc = a.finish().unwrap();
+    assert!(
+        saw_non_spec,
+        "a 16-load window must trip a 10-register file"
+    );
+    assert!(returned_to_spec, "rotation must recover the mode");
+    assert!(alloc.working_set() <= 10);
+    validate_allocation(&region, &deps, &schedule, &alloc).unwrap();
+}
+
+#[test]
+fn working_set_scales_with_hoist_window_not_region_size() {
+    // Two regions with the same 8-op hoist windows but 10x the length:
+    // the working set must stay flat (rotation releases each window).
+    let ws = |n: usize| {
+        let (region, schedule) = big_region_flat(n);
+        let deps = DepGraph::compute(&region);
+        allocate(&region, &deps, &schedule, u32::MAX)
+            .unwrap()
+            .working_set()
+    };
+    let small = ws(64);
+    let large = ws(640);
+    assert!(
+        large <= small.saturating_mul(2),
+        "working set grew with region length: {small} -> {large}"
+    );
+}
+
+/// Like `big_region` but with aliasing only inside each window, so live
+/// ranges never span windows.
+fn big_region_flat(n: usize) -> (RegionSpec, Vec<MemOpId>) {
+    let mut region = RegionSpec::new();
+    let mut ids = Vec::with_capacity(n);
+    for i in 0..n {
+        let kind = if (i / 8) % 2 == 0 {
+            MemKind::Store
+        } else {
+            MemKind::Load
+        };
+        ids.push(region.push(kind, i as u32));
+    }
+    for w in (0..n).step_by(16) {
+        for a in w..(w + 8).min(n) {
+            for b in (w + 8)..(w + 16).min(n) {
+                region.set_may_alias(ids[a], ids[b], true);
+            }
+        }
+    }
+    let mut schedule = Vec::with_capacity(n);
+    let mut i = 0;
+    while i < n {
+        let store_end = (i + 8).min(n);
+        let load_end = (store_end + 8).min(n);
+        schedule.extend_from_slice(&ids[store_end..load_end]);
+        schedule.extend_from_slice(&ids[i..store_end]);
+        i = load_end;
+    }
+    (region, schedule)
+}

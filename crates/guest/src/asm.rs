@@ -1,0 +1,658 @@
+//! A small textual assembly format for guest programs.
+//!
+//! Programs are written as labeled blocks of instructions; every block ends
+//! with a control-flow directive. The format round-trips through
+//! [`disassemble`] and [`parse_program`].
+//!
+//! ```text
+//! entry:
+//!     iconst r1, 0
+//!     iconst r2, 100
+//!     jump body
+//! body:
+//!     ld r4, [r3+0]
+//!     add r4, r4, r1
+//!     st r4, [r3+0]
+//!     addi r1, r1, 1
+//!     blt r1, r2, body, done
+//! done:
+//!     halt
+//! ```
+//!
+//! Data directives may appear anywhere: `.word ADDR, INT` and
+//! `.double ADDR, FLOAT` initialize one 8-byte memory word each; they are
+//! applied before execution.
+//!
+//! Supported mnemonics: `iconst rD, imm` · `fconst fD, imm` ·
+//! `add/sub/mul/div/and/or/xor/shl/shr/slt rD, rA, rB` · the same with an
+//! `i` suffix for immediate forms (`addi rD, rA, imm`) · `fadd/fsub/fmul/
+//! fdiv/fmin/fmax fD, fA, fB` · `itof fD, rA` · `ftoi rD, fA` ·
+//! `ld/st r, [rB+disp]` · `fld/fst f, [rB+disp]` · terminators `jump L`,
+//! `beq/bne/blt/bge rA, rB, taken, fallthrough`, `halt`. Comments start
+//! with `;` or `#`.
+
+use crate::isa::{AluOp, Block, BlockId, CmpOp, FReg, Instr, Program, Reg, Terminator};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A parse error with line information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseAsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseAsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseAsmError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseAsmError> {
+    Err(ParseAsmError {
+        line,
+        message: message.into(),
+    })
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseAsmError> {
+    let rest = tok
+        .strip_prefix('r')
+        .ok_or(())
+        .or_else(|_| err(line, format!("expected integer register, got '{tok}'")))?;
+    match rest.parse::<u8>() {
+        Ok(n) if n < 32 => Ok(Reg(n)),
+        _ => err(line, format!("register out of range: '{tok}'")),
+    }
+}
+
+fn parse_freg(tok: &str, line: usize) -> Result<FReg, ParseAsmError> {
+    let rest = tok
+        .strip_prefix('f')
+        .ok_or(())
+        .or_else(|_| err(line, format!("expected fp register, got '{tok}'")))?;
+    match rest.parse::<u8>() {
+        Ok(n) if n < 32 => Ok(FReg(n)),
+        _ => err(line, format!("fp register out of range: '{tok}'")),
+    }
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, ParseAsmError> {
+    let t = tok.trim();
+    let parsed = if let Some(hex) = t.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16).ok()
+    } else if let Some(hex) = t.strip_prefix("-0x") {
+        i64::from_str_radix(hex, 16).ok().map(|v| -v)
+    } else {
+        t.parse::<i64>().ok()
+    };
+    parsed.map_or_else(|| err(line, format!("bad integer '{t}'")), Ok)
+}
+
+/// Parses `[rB+disp]` / `[rB-disp]` / `[rB]`.
+fn parse_addr(tok: &str, line: usize) -> Result<(Reg, i64), ParseAsmError> {
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or(())
+        .or_else(|_| err(line, format!("expected [base+disp], got '{tok}'")))?;
+    if let Some(plus) = inner.find('+') {
+        let base = parse_reg(inner[..plus].trim(), line)?;
+        let disp = parse_imm(&inner[plus + 1..], line)?;
+        Ok((base, disp))
+    } else if let Some(minus) = inner[1..].find('-') {
+        let base = parse_reg(inner[..minus + 1].trim(), line)?;
+        let disp = parse_imm(&inner[minus + 1..], line)?;
+        Ok((base, disp))
+    } else {
+        Ok((parse_reg(inner.trim(), line)?, 0))
+    }
+}
+
+fn alu_op(mnemonic: &str) -> Option<AluOp> {
+    Some(match mnemonic {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "mul" => AluOp::Mul,
+        "div" => AluOp::Div,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "shl" => AluOp::Shl,
+        "shr" => AluOp::Shr,
+        "slt" => AluOp::Slt,
+        _ => return None,
+    })
+}
+
+fn alu_name(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::Mul => "mul",
+        AluOp::Div => "div",
+        AluOp::And => "and",
+        AluOp::Or => "or",
+        AluOp::Xor => "xor",
+        AluOp::Shl => "shl",
+        AluOp::Shr => "shr",
+        AluOp::Slt => "slt",
+    }
+}
+
+fn fpu_op(mnemonic: &str) -> Option<crate::isa::FpuOp> {
+    use crate::isa::FpuOp;
+    Some(match mnemonic {
+        "fadd" => FpuOp::Add,
+        "fsub" => FpuOp::Sub,
+        "fmul" => FpuOp::Mul,
+        "fdiv" => FpuOp::Div,
+        "fmin" => FpuOp::Min,
+        "fmax" => FpuOp::Max,
+        _ => return None,
+    })
+}
+
+fn fpu_name(op: crate::isa::FpuOp) -> &'static str {
+    use crate::isa::FpuOp;
+    match op {
+        FpuOp::Add => "fadd",
+        FpuOp::Sub => "fsub",
+        FpuOp::Mul => "fmul",
+        FpuOp::Div => "fdiv",
+        FpuOp::Min => "fmin",
+        FpuOp::Max => "fmax",
+    }
+}
+
+fn cmp_op(mnemonic: &str) -> Option<CmpOp> {
+    Some(match mnemonic {
+        "beq" => CmpOp::Eq,
+        "bne" => CmpOp::Ne,
+        "blt" => CmpOp::Lt,
+        "bge" => CmpOp::Ge,
+        _ => return None,
+    })
+}
+
+fn cmp_name(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "beq",
+        CmpOp::Ne => "bne",
+        CmpOp::Lt => "blt",
+        CmpOp::Ge => "bge",
+    }
+}
+
+enum RawTerm {
+    Jump(String),
+    Branch(CmpOp, Reg, Reg, String, String),
+    Halt,
+}
+
+/// Parses a program from its textual form. The first block is the entry.
+///
+/// # Errors
+/// [`ParseAsmError`] with the offending line on malformed input, unknown
+/// labels, missing terminators, or empty programs.
+pub fn parse_program(src: &str) -> Result<Program, ParseAsmError> {
+    struct RawBlock {
+        instrs: Vec<Instr>,
+        term: Option<(RawTerm, usize)>,
+    }
+    let mut order: Vec<String> = Vec::new();
+    let mut blocks: HashMap<String, RawBlock> = HashMap::new();
+    let mut current: Option<String> = None;
+    let mut data: Vec<(u64, u64)> = Vec::new();
+
+    for (i, raw_line) in src.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw_line
+            .split(|c| c == ';' || c == '#')
+            .next()
+            .unwrap_or("")
+            .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(label) = line.strip_suffix(':') {
+            let label = label.trim().to_string();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return err(line_no, "bad label");
+            }
+            if blocks.contains_key(&label) {
+                return err(line_no, format!("duplicate label '{label}'"));
+            }
+            order.push(label.clone());
+            blocks.insert(
+                label.clone(),
+                RawBlock {
+                    instrs: Vec::new(),
+                    term: None,
+                },
+            );
+            current = Some(label);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".word") {
+            let args: Vec<&str> = rest.split(',').map(str::trim).collect();
+            if args.len() != 2 {
+                return err(line_no, "'.word' expects ADDR, VALUE");
+            }
+            let addr = parse_imm(args[0], line_no)? as u64;
+            let value = parse_imm(args[1], line_no)? as u64;
+            data.push((addr, value));
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".double") {
+            let args: Vec<&str> = rest.split(',').map(str::trim).collect();
+            if args.len() != 2 {
+                return err(line_no, "'.double' expects ADDR, VALUE");
+            }
+            let addr = parse_imm(args[0], line_no)? as u64;
+            let value = args[1]
+                .parse::<f64>()
+                .ok()
+                .map_or_else(|| err(line_no, format!("bad float '{}'", args[1])), Ok)?;
+            data.push((addr, value.to_bits()));
+            continue;
+        }
+        let Some(cur) = current.clone() else {
+            return err(line_no, "instruction before the first label");
+        };
+        let block = blocks.get_mut(&cur).expect("current block exists");
+        if block.term.is_some() {
+            return err(line_no, "instruction after the block terminator");
+        }
+
+        let (mnemonic, rest) = match line.split_once(char::is_whitespace) {
+            Some((m, r)) => (m, r.trim()),
+            None => (line, ""),
+        };
+        let args: Vec<&str> = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',').map(str::trim).collect()
+        };
+        let want = |n: usize| -> Result<(), ParseAsmError> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                err(
+                    line_no,
+                    format!("'{mnemonic}' expects {n} operand(s), got {}", args.len()),
+                )
+            }
+        };
+
+        match mnemonic {
+            "iconst" => {
+                want(2)?;
+                block.instrs.push(Instr::IConst {
+                    rd: parse_reg(args[0], line_no)?,
+                    value: parse_imm(args[1], line_no)?,
+                });
+            }
+            "fconst" => {
+                want(2)?;
+                let value = args[1]
+                    .parse::<f64>()
+                    .ok()
+                    .map_or_else(|| err(line_no, format!("bad float '{}'", args[1])), Ok)?;
+                block.instrs.push(Instr::FConst {
+                    fd: parse_freg(args[0], line_no)?,
+                    value,
+                });
+            }
+            "itof" => {
+                want(2)?;
+                block.instrs.push(Instr::ItoF {
+                    fd: parse_freg(args[0], line_no)?,
+                    ra: parse_reg(args[1], line_no)?,
+                });
+            }
+            "ftoi" => {
+                want(2)?;
+                block.instrs.push(Instr::FtoI {
+                    rd: parse_reg(args[0], line_no)?,
+                    fa: parse_freg(args[1], line_no)?,
+                });
+            }
+            "ld" => {
+                want(2)?;
+                let (base, disp) = parse_addr(args[1], line_no)?;
+                block.instrs.push(Instr::Ld {
+                    rd: parse_reg(args[0], line_no)?,
+                    base,
+                    disp,
+                });
+            }
+            "st" => {
+                want(2)?;
+                let (base, disp) = parse_addr(args[1], line_no)?;
+                block.instrs.push(Instr::St {
+                    rs: parse_reg(args[0], line_no)?,
+                    base,
+                    disp,
+                });
+            }
+            "fld" => {
+                want(2)?;
+                let (base, disp) = parse_addr(args[1], line_no)?;
+                block.instrs.push(Instr::FLd {
+                    fd: parse_freg(args[0], line_no)?,
+                    base,
+                    disp,
+                });
+            }
+            "fst" => {
+                want(2)?;
+                let (base, disp) = parse_addr(args[1], line_no)?;
+                block.instrs.push(Instr::FSt {
+                    fs: parse_freg(args[0], line_no)?,
+                    base,
+                    disp,
+                });
+            }
+            "jump" => {
+                want(1)?;
+                block.term = Some((RawTerm::Jump(args[0].to_string()), line_no));
+            }
+            "halt" => {
+                want(0)?;
+                block.term = Some((RawTerm::Halt, line_no));
+            }
+            m => {
+                if let Some(op) = cmp_op(m) {
+                    want(4)?;
+                    block.term = Some((
+                        RawTerm::Branch(
+                            op,
+                            parse_reg(args[0], line_no)?,
+                            parse_reg(args[1], line_no)?,
+                            args[2].to_string(),
+                            args[3].to_string(),
+                        ),
+                        line_no,
+                    ));
+                } else if let Some(op) = fpu_op(m) {
+                    want(3)?;
+                    block.instrs.push(Instr::Fpu {
+                        op,
+                        fd: parse_freg(args[0], line_no)?,
+                        fa: parse_freg(args[1], line_no)?,
+                        fb: parse_freg(args[2], line_no)?,
+                    });
+                } else if let Some(base) = m.strip_suffix('i').and_then(alu_op) {
+                    want(3)?;
+                    block.instrs.push(Instr::AluImm {
+                        op: base,
+                        rd: parse_reg(args[0], line_no)?,
+                        ra: parse_reg(args[1], line_no)?,
+                        imm: parse_imm(args[2], line_no)?,
+                    });
+                } else if let Some(op) = alu_op(m) {
+                    want(3)?;
+                    block.instrs.push(Instr::Alu {
+                        op,
+                        rd: parse_reg(args[0], line_no)?,
+                        ra: parse_reg(args[1], line_no)?,
+                        rb: parse_reg(args[2], line_no)?,
+                    });
+                } else {
+                    return err(line_no, format!("unknown mnemonic '{m}'"));
+                }
+            }
+        }
+    }
+
+    if order.is_empty() {
+        return err(0, "empty program");
+    }
+    let ids: HashMap<&str, BlockId> = order
+        .iter()
+        .enumerate()
+        .map(|(i, l)| (l.as_str(), BlockId(i as u32)))
+        .collect();
+    let resolve = |label: &str, line: usize| -> Result<BlockId, ParseAsmError> {
+        ids.get(label)
+            .copied()
+            .map_or_else(|| err(line, format!("unknown label '{label}'")), Ok)
+    };
+    let mut out = Vec::with_capacity(order.len());
+    for label in &order {
+        let raw = blocks.remove(label).expect("block recorded");
+        let Some((term, line)) = raw.term else {
+            return err(0, format!("block '{label}' lacks a terminator"));
+        };
+        let term = match term {
+            RawTerm::Jump(t) => Terminator::Jump(resolve(&t, line)?),
+            RawTerm::Branch(op, ra, rb, t, f) => Terminator::Branch {
+                op,
+                ra,
+                rb,
+                taken: resolve(&t, line)?,
+                fallthrough: resolve(&f, line)?,
+            },
+            RawTerm::Halt => Terminator::Halt,
+        };
+        out.push(Block {
+            instrs: raw.instrs,
+            term,
+        });
+    }
+    Ok(Program::with_data(out, BlockId(0), data))
+}
+
+/// Renders a program back to its textual form (blocks labeled `b0`, `b1`,
+/// …; the entry block comes first as `b<entry>`). `parse_program ∘
+/// disassemble` is the identity up to label names.
+pub fn disassemble(program: &Program) -> String {
+    let mut out = String::new();
+    for &(addr, word) in program.data() {
+        out.push_str(&format!(".word {addr}, {}\n", word as i64));
+    }
+    for (id, block) in program.iter() {
+        out.push_str(&format!("b{}:\n", id.0));
+        for instr in &block.instrs {
+            out.push_str("    ");
+            out.push_str(&render_instr(instr));
+            out.push('\n');
+        }
+        out.push_str("    ");
+        match block.term {
+            Terminator::Jump(t) => out.push_str(&format!("jump b{}", t.0)),
+            Terminator::Branch {
+                op,
+                ra,
+                rb,
+                taken,
+                fallthrough,
+            } => out.push_str(&format!(
+                "{} {ra}, {rb}, b{}, b{}",
+                cmp_name(op),
+                taken.0,
+                fallthrough.0
+            )),
+            Terminator::Halt => out.push_str("halt"),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn render_instr(i: &Instr) -> String {
+    match *i {
+        Instr::IConst { rd, value } => format!("iconst {rd}, {value}"),
+        Instr::FConst { fd, value } => format!("fconst {fd}, {value}"),
+        Instr::Alu { op, rd, ra, rb } => format!("{} {rd}, {ra}, {rb}", alu_name(op)),
+        Instr::AluImm { op, rd, ra, imm } => format!("{}i {rd}, {ra}, {imm}", alu_name(op)),
+        Instr::Fpu { op, fd, fa, fb } => format!("{} {fd}, {fa}, {fb}", fpu_name(op)),
+        Instr::ItoF { fd, ra } => format!("itof {fd}, {ra}"),
+        Instr::FtoI { rd, fa } => format!("ftoi {rd}, {fa}"),
+        Instr::Ld { rd, base, disp } => format!("ld {rd}, [{base}+{disp}]"),
+        Instr::St { rs, base, disp } => format!("st {rs}, [{base}+{disp}]"),
+        Instr::FLd { fd, base, disp } => format!("fld {fd}, [{base}+{disp}]"),
+        Instr::FSt { fs, base, disp } => format!("fst {fs}, [{base}+{disp}]"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{Interpreter, RunOutcome};
+
+    const LOOP: &str = r"
+; sum the first ten integers
+entry:
+    iconst r1, 0
+    iconst r2, 0      # sum
+    iconst r3, 10
+    jump body
+body:
+    add r2, r2, r1
+    addi r1, r1, 1
+    blt r1, r3, body, done
+done:
+    halt
+";
+
+    #[test]
+    fn parses_and_runs() {
+        let p = parse_program(LOOP).unwrap();
+        assert_eq!(p.num_blocks(), 3);
+        let mut i = Interpreter::new();
+        assert_eq!(i.run(&p, 10_000), RunOutcome::Halted);
+        assert_eq!(i.regs[2], 45);
+    }
+
+    #[test]
+    fn memory_and_fp_syntax() {
+        let src = r"
+main:
+    iconst r1, 0x100
+    fconst f1, 2.5
+    fst f1, [r1+8]
+    fld f2, [r1+8]
+    fmul f3, f2, f2
+    st r1, [r1]
+    ld r4, [r1+0]
+    halt
+";
+        let p = parse_program(src).unwrap();
+        let mut i = Interpreter::new();
+        i.run(&p, 1000);
+        assert_eq!(i.fregs[3], 6.25);
+        assert_eq!(i.regs[4], 0x100);
+    }
+
+    #[test]
+    fn roundtrip_through_disassembler() {
+        let p = parse_program(LOOP).unwrap();
+        let text = disassemble(&p);
+        let p2 = parse_program(&text).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn workloads_roundtrip() {
+        // Every instruction form the kernel generator emits must survive a
+        // disassemble/parse cycle.
+        let src = r"
+k:
+    iconst r5, 8192
+    fconst f3, 1.0001
+    fld f8, [r5+16]
+    fmul f8, f8, f3
+    fst f8, [r5+24]
+    subi r2, r2, 1
+    bne r2, r0, k, end
+end:
+    halt
+";
+        let p = parse_program(src).unwrap();
+        let p2 = parse_program(&disassemble(&p)).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_program("entry:\n    bogus r1\n    halt\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus"));
+
+        let e = parse_program("entry:\n    jump nowhere\n").unwrap_err();
+        assert!(e.message.contains("unknown label"));
+
+        let e = parse_program("entry:\n    iconst r99, 1\n    halt\n").unwrap_err();
+        assert!(e.message.contains("out of range"));
+
+        let e = parse_program("    iconst r1, 1\n").unwrap_err();
+        assert!(e.message.contains("before the first label"));
+
+        let e = parse_program("entry:\n").unwrap_err();
+        assert!(e.message.contains("lacks a terminator"));
+
+        let e = parse_program("").unwrap_err();
+        assert!(e.message.contains("empty"));
+
+        let e = parse_program("a:\n halt\na:\n halt\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn data_directives_initialize_memory() {
+        let src = r"
+.word 0x1000, 42
+.double 0x1008, 2.5
+main:
+    iconst r1, 0x1000
+    ld r2, [r1+0]
+    fld f1, [r1+8]
+    halt
+";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.data().len(), 2);
+        let mut i = Interpreter::new();
+        i.run(&p, 100);
+        assert_eq!(i.regs[2], 42);
+        assert_eq!(i.fregs[1], 2.5);
+        // Round-trips (the .double becomes a raw .word of its bits).
+        let p2 = parse_program(&disassemble(&p)).unwrap();
+        let mut j = Interpreter::new();
+        j.run(&p2, 100);
+        assert_eq!(i.arch_state(), j.arch_state());
+    }
+
+    #[test]
+    fn bad_data_directives_error() {
+        assert!(parse_program(
+            ".word 5
+main:
+ halt
+"
+        )
+        .is_err());
+        assert!(parse_program(
+            ".double 5, x
+main:
+ halt
+"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn negative_and_hex_immediates() {
+        let p = parse_program("e:\n    iconst r1, -5\n    iconst r2, 0x10\n    halt\n").unwrap();
+        let mut i = Interpreter::new();
+        i.run(&p, 100);
+        assert_eq!(i.regs[1], -5);
+        assert_eq!(i.regs[2], 16);
+    }
+}

@@ -1,0 +1,107 @@
+//! Sparse guest memory.
+
+use std::collections::HashMap;
+
+/// A sparse, word-addressed (8-byte) memory.
+///
+/// Addresses are byte addresses; accesses are aligned down to 8 bytes (the
+/// guest ISA only issues 8-byte accesses and the workloads keep them
+/// aligned). Uninitialized memory reads as zero.
+///
+/// ```
+/// use smarq_guest::Memory;
+/// let mut m = Memory::new();
+/// m.write(0x1000, 42);
+/// assert_eq!(m.read(0x1000), 42);
+/// assert_eq!(m.read(0x2000), 0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Memory {
+    words: HashMap<u64, u64>,
+}
+
+impl Memory {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the 8-byte word containing `addr`.
+    pub fn read(&self, addr: u64) -> u64 {
+        self.words.get(&(addr >> 3)).copied().unwrap_or(0)
+    }
+
+    /// Writes the 8-byte word containing `addr`.
+    pub fn write(&mut self, addr: u64, value: u64) {
+        if value == 0 {
+            self.words.remove(&(addr >> 3));
+        } else {
+            self.words.insert(addr >> 3, value);
+        }
+    }
+
+    /// Reads an `f64` stored at `addr`.
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        f64::from_bits(self.read(addr))
+    }
+
+    /// Writes an `f64` at `addr`.
+    pub fn write_f64(&mut self, addr: u64, value: f64) {
+        self.write(addr, value.to_bits());
+    }
+
+    /// Number of non-zero words (for tests and statistics).
+    pub fn footprint_words(&self) -> usize {
+        self.words.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialized() {
+        let m = Memory::new();
+        assert_eq!(m.read(0), 0);
+        assert_eq!(m.read(0xffff_ffff_fff8), 0);
+        assert_eq!(m.footprint_words(), 0);
+    }
+
+    #[test]
+    fn word_aliasing_within_8_bytes() {
+        let mut m = Memory::new();
+        m.write(0x100, 7);
+        // Any byte address within the word maps to the same cell.
+        assert_eq!(m.read(0x101), 7);
+        assert_eq!(m.read(0x107), 7);
+        assert_eq!(m.read(0x108), 0);
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let mut m = Memory::new();
+        m.write_f64(0x200, -3.75);
+        assert_eq!(m.read_f64(0x200), -3.75);
+    }
+
+    #[test]
+    fn writing_zero_frees_the_word() {
+        let mut m = Memory::new();
+        m.write(0x300, 9);
+        assert_eq!(m.footprint_words(), 1);
+        m.write(0x300, 0);
+        assert_eq!(m.footprint_words(), 0);
+        assert_eq!(m.read(0x300), 0);
+    }
+
+    #[test]
+    fn equality_ignores_zero_writes() {
+        let mut a = Memory::new();
+        let mut b = Memory::new();
+        a.write(8, 1);
+        b.write(8, 1);
+        b.write(16, 0);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property test: the assembler and disassembler are inverse up to label
+//! naming, and parsing never panics on random printable input.
+
+use proptest::prelude::*;
+use smarq_guest::{disassemble, parse_program, AluOp, CmpOp, FReg, FpuOp, Instr, Reg};
+
+fn instr() -> impl Strategy<Value = Instr> {
+    let reg = (0u8..32).prop_map(Reg);
+    let freg = (0u8..32).prop_map(FReg);
+    let alu = prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::Div),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Shl),
+        Just(AluOp::Shr),
+        Just(AluOp::Slt),
+    ];
+    let fpu = prop_oneof![
+        Just(FpuOp::Add),
+        Just(FpuOp::Sub),
+        Just(FpuOp::Mul),
+        Just(FpuOp::Div),
+        Just(FpuOp::Min),
+        Just(FpuOp::Max),
+    ];
+    prop_oneof![
+        (reg.clone(), any::<i32>()).prop_map(|(rd, v)| Instr::IConst {
+            rd,
+            value: i64::from(v)
+        }),
+        (freg.clone(), -1000i32..1000).prop_map(|(fd, v)| Instr::FConst {
+            fd,
+            value: f64::from(v) / 8.0
+        }),
+        (alu.clone(), reg.clone(), reg.clone(), reg.clone())
+            .prop_map(|(op, rd, ra, rb)| Instr::Alu { op, rd, ra, rb }),
+        (alu, reg.clone(), reg.clone(), any::<i16>()).prop_map(|(op, rd, ra, imm)| {
+            Instr::AluImm {
+                op,
+                rd,
+                ra,
+                imm: i64::from(imm),
+            }
+        }),
+        (fpu, freg.clone(), freg.clone(), freg.clone()).prop_map(|(op, fd, fa, fb)| Instr::Fpu {
+            op,
+            fd,
+            fa,
+            fb
+        }),
+        (freg.clone(), reg.clone()).prop_map(|(fd, ra)| Instr::ItoF { fd, ra }),
+        (reg.clone(), freg.clone()).prop_map(|(rd, fa)| Instr::FtoI { rd, fa }),
+        (reg.clone(), reg.clone(), 0i64..512).prop_map(|(rd, base, disp)| Instr::Ld {
+            rd,
+            base,
+            disp
+        }),
+        (reg.clone(), reg.clone(), 0i64..512).prop_map(|(rs, base, disp)| Instr::St {
+            rs,
+            base,
+            disp
+        }),
+        (freg.clone(), reg.clone(), 0i64..512).prop_map(|(fd, base, disp)| Instr::FLd {
+            fd,
+            base,
+            disp
+        }),
+        (freg, reg, 0i64..512).prop_map(|(fs, base, disp)| Instr::FSt { fs, base, disp }),
+    ]
+}
+
+/// Builds a multi-block program from instruction bodies: block i branches
+/// or jumps forward, the last halts.
+fn program_from(bodies: &[Vec<Instr>]) -> smarq_guest::Program {
+    let mut b = smarq_guest::ProgramBuilder::new();
+    let blocks: Vec<_> = bodies.iter().map(|_| b.block()).collect();
+    for (i, body) in bodies.iter().enumerate() {
+        for ins in body {
+            b.push(blocks[i], *ins);
+        }
+        if i + 1 < bodies.len() {
+            if i % 2 == 0 {
+                b.jump(blocks[i], blocks[i + 1]);
+            } else {
+                b.branch(
+                    blocks[i],
+                    CmpOp::Lt,
+                    Reg(1),
+                    Reg(2),
+                    blocks[0],
+                    blocks[i + 1],
+                );
+            }
+        } else {
+            b.halt(blocks[i]);
+        }
+    }
+    b.finish(blocks[0])
+}
+
+proptest! {
+    #[test]
+    fn random_programs_roundtrip(bodies in proptest::collection::vec(
+        proptest::collection::vec(instr(), 0..12), 1..5))
+    {
+        let p1 = program_from(&bodies);
+        let text = disassemble(&p1);
+        let p2 = parse_program(&text).unwrap();
+        prop_assert_eq!(&p1, &p2);
+        // Idempotence: disassembling again is stable.
+        prop_assert_eq!(text, disassemble(&p2));
+    }
+
+    #[test]
+    fn parser_never_panics(src in "[ -~\n]{0,200}") {
+        let _ = parse_program(&src);
+    }
+}

@@ -1,0 +1,113 @@
+//! Optimizer configuration: which hardware to target and which speculative
+//! transformations to apply.
+
+use smarq_vliw::HwKind;
+
+/// Optimizer configuration.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct OptConfig {
+    /// Alias-detection hardware to target.
+    pub hw: HwKind,
+    /// Hardware alias register count (SMARQ) — ignored by other schemes.
+    pub num_alias_regs: u32,
+    /// Speculatively reorder may-aliasing memory operations at all.
+    pub speculate_reordering: bool,
+    /// Allow reordering two may-aliasing *stores* (paper Figure 16 disables
+    /// this; the ALAT scheme cannot support it).
+    pub allow_store_reorder: bool,
+    /// Allow *speculative* load elimination (forwarding across may-aliasing
+    /// stores). Requires SMARQ hardware.
+    pub allow_spec_load_elim: bool,
+    /// Allow *speculative* store elimination (dead store across may-aliasing
+    /// loads). Requires SMARQ hardware.
+    pub allow_spec_store_elim: bool,
+}
+
+impl OptConfig {
+    /// Full SMARQ configuration with `num_alias_regs` registers.
+    pub fn smarq(num_alias_regs: u32) -> Self {
+        OptConfig {
+            hw: HwKind::Smarq,
+            num_alias_regs,
+            speculate_reordering: true,
+            allow_store_reorder: true,
+            allow_spec_load_elim: true,
+            allow_spec_store_elim: true,
+        }
+    }
+
+    /// SMARQ with store reordering disabled (paper Figure 16).
+    pub fn smarq_no_store_reorder(num_alias_regs: u32) -> Self {
+        OptConfig {
+            allow_store_reorder: false,
+            ..Self::smarq(num_alias_regs)
+        }
+    }
+
+    /// Transmeta-Efficeon-like configuration: the bit-mask encoding allows
+    /// exact check sets (every SMARQ optimization expressible without
+    /// AMOVs), but the register file cannot exceed 15 entries (paper §2.2).
+    pub fn efficeon() -> Self {
+        OptConfig {
+            hw: HwKind::Efficeon,
+            num_alias_regs: 15,
+            speculate_reordering: true,
+            allow_store_reorder: true,
+            allow_spec_load_elim: true,
+            allow_spec_store_elim: true,
+        }
+    }
+
+    /// Itanium-ALAT-like configuration: loads may hoist above stores; no
+    /// store-store reordering; no speculative eliminations (paper §2.3/§7).
+    pub fn alat() -> Self {
+        OptConfig {
+            hw: HwKind::Alat,
+            num_alias_regs: 0,
+            speculate_reordering: true,
+            allow_store_reorder: false,
+            allow_spec_load_elim: false,
+            allow_spec_store_elim: false,
+        }
+    }
+
+    /// No alias-detection hardware: no memory speculation at all (the
+    /// paper's speedup baseline).
+    pub fn no_alias_hw() -> Self {
+        OptConfig {
+            hw: HwKind::None,
+            num_alias_regs: 0,
+            speculate_reordering: false,
+            allow_store_reorder: false,
+            allow_spec_load_elim: false,
+            allow_spec_store_elim: false,
+        }
+    }
+
+    /// Whether this configuration can honor speculative eliminations.
+    /// The ordered queue handles them natively; the Efficeon bit-mask can
+    /// express the required exact check sets too (cyclic constraint graphs
+    /// fall back to less speculation — the bit-mask file has no AMOV).
+    pub fn supports_spec_elim(&self) -> bool {
+        matches!(self.hw, HwKind::Smarq | HwKind::Efficeon) && self.speculate_reordering
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert_eq!(OptConfig::smarq(64).hw, HwKind::Smarq);
+        assert_eq!(OptConfig::smarq(16).num_alias_regs, 16);
+        assert!(OptConfig::smarq(64).supports_spec_elim());
+        assert!(!OptConfig::alat().supports_spec_elim());
+        assert!(OptConfig::efficeon().supports_spec_elim());
+        assert_eq!(OptConfig::efficeon().num_alias_regs, 15);
+        assert!(!OptConfig::alat().allow_store_reorder);
+        assert!(!OptConfig::no_alias_hw().speculate_reordering);
+        let nsr = OptConfig::smarq_no_store_reorder(64);
+        assert!(!nsr.allow_store_reorder && nsr.speculate_reordering);
+    }
+}

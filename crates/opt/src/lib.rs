@@ -1,0 +1,203 @@
+//! # smarq-opt — speculative optimizations, scheduling and emission
+//!
+//! The optimization pipeline of the paper's dynamic optimizer (§6), over a
+//! superblock region:
+//!
+//! 1. **Speculative load/store elimination** ([`elim`]): redundant-load
+//!    removal and store→load forwarding across may-aliasing stores, and
+//!    dead-store removal across may-aliasing loads — the optimizations
+//!    whose *extended dependences* motivate SMARQ's constraint analysis.
+//! 2. **Dependence DAG construction** ([`dag`]): register and memory
+//!    dependences; may-alias edges are *speculation candidates* that the
+//!    target hardware policy may drop.
+//! 3. **List scheduling** ([`sched`]): latency-driven scheduling with the
+//!    SMARQ alias register allocator embedded exactly as in the paper's
+//!    Figure 13 — constraints are built and registers allocated as each
+//!    memory operation is scheduled, and the allocator's overflow estimate
+//!    switches the scheduler between speculation and non-speculation modes.
+//! 4. **Annotation + VLIW emission** ([`emit`]): P/C bits, offsets, AMOV
+//!    and rotate instructions for SMARQ; ALAT set/clear for the
+//!    Itanium-like model; greedy bundling for the in-order machine.
+//!
+//! The entry point is [`optimize_superblock`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod blacklist;
+mod config;
+pub mod dag;
+pub mod elim;
+pub mod emit;
+pub mod sched;
+
+pub use blacklist::AliasBlacklist;
+pub use config::OptConfig;
+
+use smarq::DepGraph;
+use smarq_ir::{build_region_spec, AliasAnalysis, OpOrigin, Superblock};
+use smarq_vliw::{MachineConfig, VliwProgram};
+
+/// Aggregate optimization statistics for one region (feeding the paper's
+/// Figures 14, 17 and 19).
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct OptStats {
+    /// IR operations in the region (before elimination).
+    pub ir_ops: usize,
+    /// Memory operations in the region (before elimination).
+    pub mem_ops: usize,
+    /// Speculative load eliminations applied.
+    pub spec_load_elims: usize,
+    /// Speculative store eliminations applied.
+    pub spec_store_elims: usize,
+    /// Non-speculative (fully proven) eliminations applied.
+    pub nonspec_elims: usize,
+    /// Check-constraints inserted.
+    pub checks: usize,
+    /// Anti-constraints inserted.
+    pub antis: usize,
+    /// AMOV instructions inserted.
+    pub amovs: usize,
+    /// AMOVs that truly move (the rest only clean up).
+    pub amov_moves: usize,
+    /// Operations that set an alias register (P bit).
+    pub p_ops: usize,
+    /// Alias register working set (max offset + 1).
+    pub working_set: u32,
+    /// Live-range lower bound on the working set.
+    pub lower_bound: u32,
+    /// Scheduled memory operations (after elimination).
+    pub scheduled_mem_ops: usize,
+    /// Times the scheduler retried with less speculation after a register
+    /// overflow.
+    pub overflow_retries: u32,
+    /// Host nanoseconds spent in list scheduling + alias register
+    /// allocation (the paper instruments exactly this slice for Figure 18).
+    pub sched_ns: u64,
+}
+
+/// A fully optimized, annotated, bundled region.
+#[derive(Clone, Debug)]
+pub struct Optimized {
+    /// The emitted VLIW code.
+    pub vliw: VliwProgram,
+    /// Statistics.
+    pub stats: OptStats,
+    /// Memory-op tag (as reported in alias exceptions) → guest origin.
+    pub tag_origin: Vec<OpOrigin>,
+}
+
+/// Optimizes one superblock for the configured hardware.
+///
+/// On alias-register overflow the pipeline retries with progressively less
+/// speculation (first dropping speculative eliminations, then all memory
+/// speculation); the retry count is reported in
+/// [`OptStats::overflow_retries`].
+///
+/// # Panics
+/// Panics if `sb` fails [`Superblock::validate`] (caller bug).
+pub fn optimize_superblock(
+    sb: &Superblock,
+    config: &OptConfig,
+    machine: &MachineConfig,
+    blacklist: &AliasBlacklist,
+) -> Optimized {
+    sb.validate().expect("well-formed superblock");
+    let mut cfg = config.clone();
+    for retry in 0..3u32 {
+        match try_optimize(sb, &cfg, machine, blacklist) {
+            Ok(mut opt) => {
+                opt.stats.overflow_retries = retry;
+                return opt;
+            }
+            Err(Overflowed) => {
+                if cfg.allow_spec_load_elim || cfg.allow_spec_store_elim {
+                    cfg.allow_spec_load_elim = false;
+                    cfg.allow_spec_store_elim = false;
+                } else {
+                    cfg.speculate_reordering = false;
+                }
+            }
+        }
+    }
+    unreachable!("non-speculative optimization cannot overflow the alias register file")
+}
+
+/// Internal marker: the alias register file overflowed; retry with less
+/// speculation.
+struct Overflowed;
+
+fn try_optimize(
+    sb: &Superblock,
+    config: &OptConfig,
+    machine: &MachineConfig,
+    blacklist: &AliasBlacklist,
+) -> Result<Optimized, Overflowed> {
+    let analysis = AliasAnalysis::new(sb);
+    let (mut spec, map) = build_region_spec(sb, &analysis);
+    let mut elims = elim::run_eliminations(sb, &analysis, &mut spec, &map, config, blacklist);
+    elim::dce(sb, &mut elims);
+    let deps = DepGraph::compute(&spec);
+    let work = dag::build_work_list(sb, &elims);
+    let graph = dag::build_dag(sb, &analysis, &work, config, machine, blacklist);
+    let sched_start = std::time::Instant::now();
+    let sched = sched::schedule(&work, &graph, config, machine, &spec, &deps, &map)
+        .map_err(|_| Overflowed)?;
+    let sched_ns = sched_start.elapsed().as_nanos() as u64;
+    if config.hw == smarq_vliw::HwKind::Efficeon {
+        if let Some(alloc) = &sched.allocation {
+            if alloc.stats().amovs > 0 {
+                // The bit-mask file has no AMOV: a cyclic constraint graph
+                // cannot be realized. Retry with less speculation (the
+                // cycles come from speculative eliminations).
+                return Err(Overflowed);
+            }
+        }
+    }
+    let vliw = emit::emit(sb, &analysis, &work, &sched, config, machine, &map);
+
+    let mut stats = OptStats {
+        ir_ops: sb.ops.len(),
+        mem_ops: map.len(),
+        spec_load_elims: elims.spec_load_elims,
+        spec_store_elims: elims.spec_store_elims,
+        nonspec_elims: elims.nonspec_elims,
+        scheduled_mem_ops: sched
+            .linear
+            .iter()
+            .filter(|&&k| work.ops[k].is_mem())
+            .count(),
+        sched_ns,
+        ..OptStats::default()
+    };
+    if let Some(alloc) = &sched.allocation {
+        let s = alloc.stats();
+        stats.checks = s.checks;
+        stats.antis = s.antis;
+        stats.amovs = s.amovs;
+        stats.amov_moves = s.amov_moves;
+        stats.p_ops = s.p_ops;
+        stats.working_set = alloc.working_set();
+        // Lower bound over the actually-scheduled memory operations
+        // (eliminated loads appear as copies in the work list; their
+        // original memory ids must not be resurrected here).
+        let mem_sched: Vec<_> = sched
+            .linear
+            .iter()
+            .filter(|&&k| work.ops[k].is_mem())
+            .filter_map(|&k| map.mem_id(work.orig[k]))
+            .collect();
+        stats.lower_bound = smarq::live_range_lower_bound(&spec, &deps, &mem_sched);
+    }
+
+    // Memory-op tags are MemOpId indices; map them back to guest origins.
+    let tag_origin: Vec<OpOrigin> = (0..map.len())
+        .map(|k| sb.origins[map.op_index(smarq::MemOpId::new(k))])
+        .collect();
+
+    Ok(Optimized {
+        vliw,
+        stats,
+        tag_origin,
+    })
+}

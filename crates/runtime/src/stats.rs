@@ -1,0 +1,135 @@
+//! End-to-end execution statistics.
+
+use smarq_guest::BlockId;
+use smarq_opt::OptStats;
+
+/// Per-formed-region record (drives the paper's Figures 14, 17, 19).
+#[derive(Clone, Debug)]
+pub struct RegionRecord {
+    /// Region entry block.
+    pub entry: BlockId,
+    /// Optimization statistics at last (re-)translation.
+    pub opt: OptStats,
+    /// Times this region was entered.
+    pub entries: u64,
+    /// Rollbacks suffered.
+    pub rollbacks: u64,
+    /// Re-translations after exceptions.
+    pub retranslations: u32,
+}
+
+/// Whole-system statistics.
+#[derive(Clone, Debug, Default)]
+pub struct SystemStats {
+    /// Guest instructions executed by the interpreter.
+    pub interp_instrs: u64,
+    /// Guest instructions covered by translated region executions
+    /// (approximated per exit point).
+    pub region_guest_instrs: u64,
+    /// Simulated cycles spent in translated regions (incl. checkpoint and
+    /// rollback penalties).
+    pub vliw_cycles: u64,
+    /// Simulated cycles attributed to interpretation
+    /// (`interp_instrs × interp_cycles_per_instr`).
+    pub interp_cycles: u64,
+    /// Host nanoseconds spent translating/optimizing (the paper's
+    /// Figure 18 overhead, measured around the optimizer like the paper's
+    /// marker symbols).
+    pub translation_ns: u64,
+    /// Host nanoseconds of that spent inside scheduling + allocation.
+    pub scheduling_ns: u64,
+    /// Regions formed.
+    pub regions_formed: usize,
+    /// Total region entries.
+    pub region_entries: u64,
+    /// Total rollbacks.
+    pub rollbacks: u64,
+    /// Total re-translations.
+    pub retranslations: usize,
+    /// Memory operations executed inside translated regions.
+    pub region_mem_ops: u64,
+    /// Alias entries examined by the detection hardware (energy proxy,
+    /// paper §2.4).
+    pub alias_entries_scanned: u64,
+    /// Per-region records.
+    pub per_region: Vec<RegionRecord>,
+}
+
+impl SystemStats {
+    /// Total simulated execution cycles (interpretation + regions).
+    pub fn total_cycles(&self) -> u64 {
+        self.vliw_cycles + self.interp_cycles
+    }
+
+    /// Total guest instructions retired (interpreted + in regions).
+    pub fn guest_instrs(&self) -> u64 {
+        self.interp_instrs + self.region_guest_instrs
+    }
+
+    /// Fraction of execution time spent in the optimizer, modeling the
+    /// simulated core at 1 GHz (1 cycle = 1 ns) — the paper's Figure 18
+    /// metric.
+    pub fn optimization_overhead(&self) -> f64 {
+        let exec_ns = self.total_cycles() as f64;
+        let opt_ns = self.translation_ns as f64;
+        if exec_ns + opt_ns == 0.0 {
+            0.0
+        } else {
+            opt_ns / (exec_ns + opt_ns)
+        }
+    }
+
+    /// Fraction of execution time spent in scheduling + allocation.
+    pub fn scheduling_overhead(&self) -> f64 {
+        let exec_ns = self.total_cycles() as f64;
+        let opt_ns = self.translation_ns as f64;
+        if exec_ns + opt_ns == 0.0 {
+            0.0
+        } else {
+            self.scheduling_ns as f64 / (exec_ns + opt_ns)
+        }
+    }
+
+    /// Alias entries examined per executed memory operation — the energy
+    /// proxy the paper uses to argue against check-everything schemes.
+    pub fn scans_per_mem_op(&self) -> f64 {
+        if self.region_mem_ops == 0 {
+            0.0
+        } else {
+            self.alias_entries_scanned as f64 / self.region_mem_ops as f64
+        }
+    }
+
+    /// Average memory operations per formed superblock (Figure 14).
+    pub fn avg_mem_ops_per_region(&self) -> f64 {
+        if self.per_region.is_empty() {
+            return 0.0;
+        }
+        self.per_region
+            .iter()
+            .map(|r| r.opt.mem_ops as f64)
+            .sum::<f64>()
+            / self.per_region.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_ratios() {
+        let mut s = SystemStats::default();
+        assert_eq!(s.optimization_overhead(), 0.0);
+        s.vliw_cycles = 900;
+        s.interp_cycles = 100;
+        s.interp_instrs = 5;
+        s.region_guest_instrs = 95;
+        s.translation_ns = 1000;
+        s.scheduling_ns = 400;
+        assert_eq!(s.total_cycles(), 1000);
+        assert_eq!(s.guest_instrs(), 100);
+        assert!((s.optimization_overhead() - 0.5).abs() < 1e-12);
+        assert!((s.scheduling_overhead() - 0.2).abs() < 1e-12);
+    }
+}

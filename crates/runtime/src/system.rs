@@ -1,0 +1,552 @@
+//! The dynamic optimization system loop.
+
+use crate::stats::{RegionRecord, SystemStats};
+use smarq_guest::{BlockId, Interpreter, Program};
+use smarq_ir::OpOrigin;
+use smarq_ir::{form_superblock, unroll_superblock, FormationParams, IrOp, Superblock};
+use smarq_opt::{optimize_superblock, AliasBlacklist, OptConfig};
+use smarq_vliw::{AnyAliasHw, MachineConfig, RegionOutcome, Simulator, VliwProgram, VliwState};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// System configuration.
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// Machine model.
+    pub machine: MachineConfig,
+    /// Optimizer configuration (hardware scheme, speculation switches).
+    pub opt: OptConfig,
+    /// Execution count at which a block becomes hot.
+    pub hot_threshold: u64,
+    /// Region-formation parameters.
+    pub formation: FormationParams,
+    /// Loop unrolling factor applied to self-loop regions (1 disables;
+    /// bounded by `formation.max_ops`). Larger regions exercise more alias
+    /// registers — the paper's §2.2 scalability argument.
+    pub unroll_factor: u32,
+    /// Rollbacks after which a region is abandoned to interpretation
+    /// (a backstop; blacklisting normally converges much earlier).
+    pub max_rollbacks_per_region: u64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        let machine = MachineConfig::default();
+        SystemConfig {
+            opt: OptConfig::smarq(machine.num_alias_regs),
+            machine,
+            hot_threshold: 50,
+            formation: FormationParams {
+                cold_threshold: 10,
+                max_blocks: 16,
+                max_ops: 512,
+            },
+            unroll_factor: 1,
+            max_rollbacks_per_region: 64,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// Default system targeting the given optimizer configuration.
+    pub fn with_opt(opt: OptConfig) -> Self {
+        SystemConfig {
+            opt,
+            ..Self::default()
+        }
+    }
+}
+
+struct CachedRegion {
+    vliw: VliwProgram,
+    tag_origin: Vec<OpOrigin>,
+    sb: Superblock,
+    /// Guest instructions architecturally covered when leaving through
+    /// each exit (approximated by the exit op's position in the trace).
+    exit_instrs: Vec<u64>,
+    rollbacks: u64,
+}
+
+/// Why [`DynOptSystem::run_to_completion`] stopped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StopReason {
+    /// The guest program halted.
+    Halted,
+    /// The guest-instruction budget ran out first.
+    BudgetExhausted,
+}
+
+/// The dynamic binary optimization system (paper Figure 1).
+pub struct DynOptSystem {
+    program: Program,
+    config: SystemConfig,
+    interp: Interpreter,
+    vstate: VliwState,
+    sim: Simulator<AnyAliasHw>,
+    cache: HashMap<BlockId, usize>,
+    regions: Vec<CachedRegion>,
+    abandoned: HashSet<BlockId>,
+    blacklist: AliasBlacklist,
+    stats: SystemStats,
+}
+
+impl DynOptSystem {
+    /// Creates a system for `program`.
+    pub fn new(program: Program, config: SystemConfig) -> Self {
+        let hw = AnyAliasHw::for_kind(config.opt.hw, config.opt.num_alias_regs);
+        let sim = Simulator::new(config.machine, hw);
+        let mut interp = Interpreter::new();
+        interp.load_data(&program);
+        DynOptSystem {
+            program,
+            config,
+            interp,
+            vstate: VliwState::new(),
+            sim,
+            cache: HashMap::new(),
+            regions: Vec::new(),
+            abandoned: HashSet::new(),
+            blacklist: AliasBlacklist::new(),
+            stats: SystemStats::default(),
+        }
+    }
+
+    /// The accumulated statistics.
+    pub fn stats(&self) -> &SystemStats {
+        &self.stats
+    }
+
+    /// The guest interpreter (architectural state lives here).
+    pub fn interp(&self) -> &Interpreter {
+        &self.interp
+    }
+
+    /// The alias blacklist accumulated from runtime exceptions.
+    pub fn blacklist(&self) -> &AliasBlacklist {
+        &self.blacklist
+    }
+
+    /// Runs until the guest halts or roughly `budget` guest instructions
+    /// have been retired.
+    pub fn run_to_completion(&mut self, budget: u64) -> StopReason {
+        let mut cur = self.program.entry();
+        loop {
+            if self.stats.guest_instrs() >= budget {
+                self.sync_interp_stats();
+                return StopReason::BudgetExhausted;
+            }
+            let next = self.step(cur);
+            match next {
+                Some(b) => cur = b,
+                None => {
+                    self.sync_interp_stats();
+                    return StopReason::Halted;
+                }
+            }
+        }
+    }
+
+    fn sync_interp_stats(&mut self) {
+        self.stats.interp_instrs = self.interp.executed_instrs();
+        self.stats.interp_cycles =
+            self.stats.interp_instrs * self.config.machine.interp_cycles_per_instr;
+    }
+
+    /// Executes one step at block `cur`: a translated region if cached,
+    /// otherwise one interpreted block (possibly triggering translation).
+    fn step(&mut self, cur: BlockId) -> Option<BlockId> {
+        if let Some(&idx) = self.cache.get(&cur) {
+            return self.run_region(cur, idx);
+        }
+        // Interpret one block.
+        let next = self.interp.step_block(&self.program, cur);
+        self.sync_interp_stats();
+        // Hot-block detection.
+        if self.interp.profile().block_count(cur) >= self.config.hot_threshold
+            && !self.cache.contains_key(&cur)
+            && !self.abandoned.contains(&cur)
+        {
+            self.translate(cur);
+        }
+        next
+    }
+
+    fn translate(&mut self, entry: BlockId) {
+        let t0 = Instant::now();
+        let sb = form_superblock(
+            &self.program,
+            self.interp.profile(),
+            entry,
+            self.config.formation,
+        );
+        let (sb, _) = unroll_superblock(
+            &sb,
+            self.config.unroll_factor,
+            self.config.formation.max_ops,
+        );
+        let opt = optimize_superblock(&sb, &self.config.opt, &self.config.machine, &self.blacklist);
+        let ns = t0.elapsed().as_nanos() as u64;
+        self.stats.translation_ns += ns;
+        self.stats.scheduling_ns += opt.stats.sched_ns;
+
+        let exit_instrs = exit_instr_counts(&sb);
+        self.regions.push(CachedRegion {
+            vliw: opt.vliw,
+            tag_origin: opt.tag_origin,
+            sb,
+            exit_instrs,
+            rollbacks: 0,
+        });
+        self.cache.insert(entry, self.regions.len() - 1);
+        self.stats.regions_formed += 1;
+        self.stats.per_region.push(RegionRecord {
+            entry,
+            opt: opt.stats,
+            entries: 0,
+            rollbacks: 0,
+            retranslations: 0,
+        });
+    }
+
+    fn retranslate(&mut self, idx: usize) {
+        let t0 = Instant::now();
+        let opt = optimize_superblock(
+            &self.regions[idx].sb,
+            &self.config.opt,
+            &self.config.machine,
+            &self.blacklist,
+        );
+        let ns = t0.elapsed().as_nanos() as u64;
+        self.stats.translation_ns += ns;
+        self.stats.scheduling_ns += opt.stats.sched_ns;
+        self.regions[idx].vliw = opt.vliw;
+        self.regions[idx].tag_origin = opt.tag_origin;
+        self.stats.retranslations += 1;
+        self.stats.per_region[idx].retranslations += 1;
+        self.stats.per_region[idx].opt = opt.stats;
+    }
+
+    fn run_region(&mut self, entry: BlockId, idx: usize) -> Option<BlockId> {
+        self.vstate
+            .load_guest(&self.interp.regs, &self.interp.fregs);
+        let (outcome, rstats) = self
+            .sim
+            .run_region(
+                &self.regions[idx].vliw,
+                &mut self.vstate,
+                &mut self.interp.mem,
+            )
+            .expect("translated region is well formed");
+        self.stats.vliw_cycles += rstats.cycles;
+        self.stats.region_mem_ops += rstats.mem_ops;
+        self.stats.alias_entries_scanned += rstats.entries_scanned;
+        self.stats.region_entries += 1;
+        self.stats.per_region[idx].entries += 1;
+        match outcome {
+            RegionOutcome::Exited { exit_id } => {
+                self.vstate
+                    .store_guest(&mut self.interp.regs, &mut self.interp.fregs);
+                let covered = self.regions[idx].exit_instrs[exit_id as usize];
+                self.stats.region_guest_instrs += covered;
+                self.regions[idx].vliw.exits[exit_id as usize]
+                    .guest_block
+                    .map(BlockId)
+            }
+            RegionOutcome::AliasException(v) => {
+                // Rolled back: record the pair, re-optimize conservatively,
+                // and make forward progress by interpreting one block.
+                self.stats.rollbacks += 1;
+                self.regions[idx].rollbacks += 1;
+                self.stats.per_region[idx].rollbacks += 1;
+                let a = self.regions[idx].tag_origin[v.checker_tag as usize];
+                let b = self.regions[idx].tag_origin[v.producer_tag as usize];
+                let fresh = self.blacklist.insert(a, b);
+                if !fresh || self.regions[idx].rollbacks > self.config.max_rollbacks_per_region {
+                    // Livelock backstop: abandon translation for this block.
+                    self.cache.remove(&entry);
+                    self.abandoned.insert(entry);
+                } else {
+                    self.retranslate(idx);
+                }
+                let next = self.interp.step_block(&self.program, entry);
+                self.sync_interp_stats();
+                next
+            }
+        }
+    }
+}
+
+/// Guest instructions architecturally covered when leaving through each
+/// exit: the number of non-exit ops before the exit, plus the terminators
+/// represented by earlier exits.
+fn exit_instr_counts(sb: &Superblock) -> Vec<u64> {
+    let mut counts = vec![0u64; sb.exits.len()];
+    let mut executed = 0u64;
+    for op in &sb.ops {
+        executed += 1;
+        if let IrOp::Exit { exit_id, .. } = op {
+            counts[*exit_id as usize] = executed;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smarq_guest::{AluOp, CmpOp, ProgramBuilder, Reg};
+
+    /// Loop with an in-loop load/store to a fixed address, plus pointer
+    /// accesses that never truly alias.
+    fn accumulating_loop(iters: i64) -> Program {
+        let mut b = ProgramBuilder::new();
+        let entry = b.block();
+        let body = b.block();
+        let done = b.block();
+        b.iconst(entry, Reg(1), 0);
+        b.iconst(entry, Reg(2), iters);
+        b.iconst(entry, Reg(3), 0x1000); // accumulator
+        b.iconst(entry, Reg(5), 0x2000); // array
+        b.jump(entry, body);
+        b.ld(body, Reg(4), Reg(3), 0);
+        b.st(body, Reg(4), Reg(5), 0); // never aliases the accumulator
+        b.ld(body, Reg(6), Reg(5), 8);
+        b.alu(body, AluOp::Add, Reg(4), Reg(4), Reg(1));
+        b.st(body, Reg(4), Reg(3), 0);
+        b.alu_imm(body, AluOp::Add, Reg(1), Reg(1), 1);
+        b.branch(body, CmpOp::Lt, Reg(1), Reg(2), body, done);
+        b.halt(done);
+        b.finish(entry)
+    }
+
+    fn reference_state(p: &Program) -> smarq_guest::ArchState {
+        let mut i = Interpreter::new();
+        i.run(p, u64::MAX);
+        i.arch_state()
+    }
+
+    #[test]
+    fn optimized_execution_matches_interpretation() {
+        let p = accumulating_loop(500);
+        let expected = reference_state(&p);
+        for opt in [
+            OptConfig::smarq(64),
+            OptConfig::smarq(16),
+            OptConfig::smarq_no_store_reorder(64),
+            OptConfig::alat(),
+            OptConfig::no_alias_hw(),
+        ] {
+            let mut sys = DynOptSystem::new(p.clone(), SystemConfig::with_opt(opt.clone()));
+            assert_eq!(sys.run_to_completion(u64::MAX), StopReason::Halted);
+            assert_eq!(
+                sys.interp().arch_state(),
+                expected,
+                "arch state mismatch for {opt:?}"
+            );
+            assert!(sys.stats().regions_formed >= 1);
+            assert!(sys.stats().vliw_cycles > 0);
+        }
+    }
+
+    /// A loop whose load sits *behind* a store fed by a long FP chain:
+    /// without alias hardware the load (and its multiply chain) serializes
+    /// after the chain; with SMARQ it hoists to the top and overlaps.
+    fn store_shadowed_loop(iters: i64) -> Program {
+        let mut b = ProgramBuilder::new();
+        let entry = b.block();
+        let body = b.block();
+        let done = b.block();
+        b.iconst(entry, Reg(1), 0);
+        b.iconst(entry, Reg(2), iters);
+        b.iconst(entry, Reg(3), 0x1000);
+        b.iconst(entry, Reg(5), 0x2000);
+        b.fconst(entry, smarq_guest::FReg(3), 1.0001);
+        b.jump(entry, body);
+        b.fld(body, smarq_guest::FReg(1), Reg(5), 0);
+        b.fpu(
+            body,
+            smarq_guest::FpuOp::Div,
+            smarq_guest::FReg(2),
+            smarq_guest::FReg(1),
+            smarq_guest::FReg(3),
+        );
+        b.fst(body, smarq_guest::FReg(2), Reg(5), 0);
+        // The speculation target: a load after the store, may-alias by the
+        // simple analysis (different base registers), never truly aliasing.
+        b.ld(body, Reg(4), Reg(3), 0);
+        b.alu(body, AluOp::Mul, Reg(6), Reg(4), Reg(4));
+        b.alu(body, AluOp::Mul, Reg(6), Reg(6), Reg(6));
+        b.st(body, Reg(6), Reg(3), 8);
+        b.alu_imm(body, AluOp::Add, Reg(1), Reg(1), 1);
+        b.branch(body, CmpOp::Lt, Reg(1), Reg(2), body, done);
+        b.halt(done);
+        b.finish(entry)
+    }
+
+    #[test]
+    fn speculation_beats_no_alias_hw_on_shadowed_loads() {
+        let p = store_shadowed_loop(2000);
+        let expected = reference_state(&p);
+        let mut fast = DynOptSystem::new(p.clone(), SystemConfig::with_opt(OptConfig::smarq(64)));
+        fast.run_to_completion(u64::MAX);
+        let mut slow =
+            DynOptSystem::new(p.clone(), SystemConfig::with_opt(OptConfig::no_alias_hw()));
+        slow.run_to_completion(u64::MAX);
+        assert_eq!(fast.interp().arch_state(), expected);
+        assert_eq!(slow.interp().arch_state(), expected);
+        assert_eq!(fast.stats().rollbacks, 0, "no true aliasing here");
+        assert!(
+            fast.stats().total_cycles() < slow.stats().total_cycles(),
+            "SMARQ {} !< none {}",
+            fast.stats().total_cycles(),
+            slow.stats().total_cycles()
+        );
+    }
+
+    /// Loop where the "unlikely" aliasing pair truly aliases: forces an
+    /// alias exception, a rollback and a conservative re-translation.
+    fn truly_aliasing_loop(iters: i64) -> Program {
+        let mut b = ProgramBuilder::new();
+        let entry = b.block();
+        let body = b.block();
+        let done = b.block();
+        b.iconst(entry, Reg(1), 0);
+        b.iconst(entry, Reg(2), iters);
+        b.iconst(entry, Reg(3), 0x1000);
+        b.iconst(entry, Reg(5), 0x1000); // same address, different register!
+        b.jump(entry, body);
+        b.st(body, Reg(1), Reg(3), 0);
+        b.ld(body, Reg(4), Reg(5), 0); // must see the store's value
+        b.alu_imm(body, AluOp::Add, Reg(6), Reg(4), 0);
+        b.alu_imm(body, AluOp::Add, Reg(1), Reg(1), 1);
+        b.branch(body, CmpOp::Lt, Reg(1), Reg(2), body, done);
+        b.halt(done);
+        b.finish(entry)
+    }
+
+    #[test]
+    fn alias_exception_rolls_back_and_blacklists() {
+        let p = truly_aliasing_loop(400);
+        let expected = reference_state(&p);
+        let mut sys = DynOptSystem::new(p, SystemConfig::with_opt(OptConfig::smarq(64)));
+        assert_eq!(sys.run_to_completion(u64::MAX), StopReason::Halted);
+        assert_eq!(sys.interp().arch_state(), expected);
+        assert!(sys.stats().rollbacks >= 1, "speculation must have faulted");
+        assert!(sys.stats().retranslations >= 1);
+        assert!(!sys.blacklist().is_empty());
+        // After re-translation the region must run cleanly (no livelock).
+        let last = sys.stats().per_region.last().unwrap();
+        assert!(last.rollbacks < 5, "blacklisting must converge");
+    }
+
+    #[test]
+    fn budget_stops_runs() {
+        let p = accumulating_loop(1_000_000);
+        let mut sys = DynOptSystem::new(p, SystemConfig::default());
+        assert_eq!(sys.run_to_completion(50_000), StopReason::BudgetExhausted);
+        assert!(sys.stats().guest_instrs() >= 50_000);
+    }
+
+    /// Two sequential hot loops plus a cold epilogue: both loops must get
+    /// their own cached regions and the state must stay exact.
+    fn two_phase_program(iters: i64) -> Program {
+        let mut b = ProgramBuilder::new();
+        let entry = b.block();
+        let loop1 = b.block();
+        let mid = b.block();
+        let loop2 = b.block();
+        let done = b.block();
+        b.iconst(entry, Reg(1), 0);
+        b.iconst(entry, Reg(2), iters);
+        b.iconst(entry, Reg(3), 0x1000);
+        b.iconst(entry, Reg(5), 0x2000);
+        b.jump(entry, loop1);
+        // Phase 1: accumulate into [r3].
+        b.ld(loop1, Reg(4), Reg(3), 0);
+        b.alu(loop1, AluOp::Add, Reg(4), Reg(4), Reg(1));
+        b.st(loop1, Reg(4), Reg(3), 0);
+        b.alu_imm(loop1, AluOp::Add, Reg(1), Reg(1), 1);
+        b.branch(loop1, CmpOp::Lt, Reg(1), Reg(2), loop1, mid);
+        // Reset the counter.
+        b.iconst(mid, Reg(1), 0);
+        b.jump(mid, loop2);
+        // Phase 2: copy [r3] into [r5 + 8] with a may-alias pair.
+        b.ld(loop2, Reg(6), Reg(3), 0);
+        b.st(loop2, Reg(6), Reg(5), 8);
+        b.ld(loop2, Reg(7), Reg(5), 16);
+        b.alu_imm(loop2, AluOp::Add, Reg(1), Reg(1), 1);
+        b.branch(loop2, CmpOp::Lt, Reg(1), Reg(2), loop2, done);
+        b.halt(done);
+        b.finish(entry)
+    }
+
+    #[test]
+    fn multiple_hot_loops_each_get_regions() {
+        let p = two_phase_program(400);
+        let expected = reference_state(&p);
+        let mut sys = DynOptSystem::new(p, SystemConfig::with_opt(OptConfig::smarq(64)));
+        assert_eq!(sys.run_to_completion(u64::MAX), StopReason::Halted);
+        assert_eq!(sys.interp().arch_state(), expected);
+        assert!(
+            sys.stats().regions_formed >= 2,
+            "both hot loops must be translated, got {}",
+            sys.stats().regions_formed
+        );
+        let entries: Vec<_> = sys.stats().per_region.iter().map(|r| r.entry).collect();
+        assert!(entries.contains(&BlockId(1)) && entries.contains(&BlockId(3)));
+    }
+
+    #[test]
+    fn abandoned_regions_fall_back_to_interpretation() {
+        // Force abandonment with a zero rollback budget on a program that
+        // always faults: execution must still complete correctly.
+        let p = truly_aliasing_loop(300);
+        let expected = reference_state(&p);
+        let mut cfg = SystemConfig::with_opt(OptConfig::smarq(64));
+        cfg.max_rollbacks_per_region = 0;
+        let mut sys = DynOptSystem::new(p, cfg);
+        assert_eq!(sys.run_to_completion(u64::MAX), StopReason::Halted);
+        assert_eq!(sys.interp().arch_state(), expected);
+        assert!(sys.stats().rollbacks >= 1);
+    }
+
+    #[test]
+    fn scan_energy_statistics_accumulate() {
+        let p = store_shadowed_loop(400);
+        let mut sys = DynOptSystem::new(p, SystemConfig::with_opt(OptConfig::smarq(64)));
+        sys.run_to_completion(u64::MAX);
+        let s = sys.stats();
+        assert!(s.region_mem_ops > 0);
+        assert!(s.alias_entries_scanned > 0, "checks must examine entries");
+        assert!(s.scans_per_mem_op() > 0.0);
+    }
+
+    #[test]
+    fn unrolled_regions_stay_bit_exact_and_grow() {
+        let p = store_shadowed_loop(1200);
+        let expected = reference_state(&p);
+        let mut cfg = SystemConfig::with_opt(OptConfig::smarq(64));
+        cfg.unroll_factor = 4;
+        let mut sys = DynOptSystem::new(p.clone(), cfg);
+        assert_eq!(sys.run_to_completion(u64::MAX), StopReason::Halted);
+        assert_eq!(sys.interp().arch_state(), expected);
+        let unrolled_mem = sys.stats().per_region[0].opt.mem_ops;
+
+        let mut plain = DynOptSystem::new(p, SystemConfig::with_opt(OptConfig::smarq(64)));
+        plain.run_to_completion(u64::MAX);
+        let plain_mem = plain.stats().per_region[0].opt.mem_ops;
+        assert_eq!(unrolled_mem, 4 * plain_mem, "region grew by the factor");
+        // Fewer region entries, fewer checkpoints: at least as fast.
+        assert!(sys.stats().region_entries < plain.stats().region_entries);
+    }
+
+    #[test]
+    fn cold_programs_never_translate() {
+        let p = accumulating_loop(5);
+        let mut sys = DynOptSystem::new(p, SystemConfig::default());
+        sys.run_to_completion(u64::MAX);
+        assert_eq!(sys.stats().regions_formed, 0);
+        assert_eq!(sys.stats().vliw_cycles, 0);
+        assert!(sys.stats().interp_instrs > 0);
+    }
+}

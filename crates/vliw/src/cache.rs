@@ -1,0 +1,172 @@
+//! A set-associative L1 data cache timing model.
+//!
+//! The paper's machine (Table 2, lost to OCR) certainly had a data cache;
+//! our default machine uses a fixed load-use latency instead, which keeps
+//! the headline results deterministic and easy to reason about. This
+//! optional model adds locality-dependent latency: enable it through
+//! [`MachineConfig::dcache`](crate::MachineConfig) to study how cache
+//! behavior interacts with speculative load hoisting (see the sensitivity
+//! section of EXPERIMENTS.md).
+//!
+//! Timing-only: data always comes from the memory model; the cache decides
+//! latency. True-LRU replacement, write-allocate. State survives region
+//! rollbacks (a rollback squashes architectural effects, not cache fills).
+
+/// Cache geometry and latencies.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CacheParams {
+    /// Number of sets (power of two).
+    pub sets: u32,
+    /// Associativity.
+    pub ways: u32,
+    /// Line size in bytes (power of two, ≥ 8).
+    pub line_bytes: u32,
+    /// Load-use latency on a hit.
+    pub hit_latency: u32,
+    /// Load-use latency on a miss.
+    pub miss_latency: u32,
+}
+
+impl Default for CacheParams {
+    fn default() -> Self {
+        // 16 KiB: 64 sets x 4 ways x 64-byte lines.
+        CacheParams {
+            sets: 64,
+            ways: 4,
+            line_bytes: 64,
+            hit_latency: 4,
+            miss_latency: 24,
+        }
+    }
+}
+
+/// The cache state.
+#[derive(Clone, Debug)]
+pub struct DCache {
+    params: CacheParams,
+    /// `tags[set][way]` = line tag; `lru[set][way]` = last-touch stamp.
+    tags: Vec<Vec<Option<u64>>>,
+    lru: Vec<Vec<u64>>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl DCache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    /// Panics unless `sets` and `line_bytes` are powers of two,
+    /// `line_bytes >= 8`, and `ways >= 1`.
+    pub fn new(params: CacheParams) -> Self {
+        assert!(params.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            params.line_bytes.is_power_of_two() && params.line_bytes >= 8,
+            "line size must be a power of two of at least 8 bytes"
+        );
+        assert!(params.ways >= 1, "at least one way");
+        DCache {
+            params,
+            tags: vec![vec![None; params.ways as usize]; params.sets as usize],
+            lru: vec![vec![0; params.ways as usize]; params.sets as usize],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configured geometry.
+    pub fn params(&self) -> CacheParams {
+        self.params
+    }
+
+    /// Accesses `addr`, returning the load-use latency and updating state.
+    pub fn access(&mut self, addr: u64) -> u32 {
+        self.clock += 1;
+        let line = addr / u64::from(self.params.line_bytes);
+        let set = (line % u64::from(self.params.sets)) as usize;
+        let tag = line / u64::from(self.params.sets);
+        let ways = &mut self.tags[set];
+        if let Some(w) = ways.iter().position(|&t| t == Some(tag)) {
+            self.lru[set][w] = self.clock;
+            self.hits += 1;
+            return self.params.hit_latency;
+        }
+        self.misses += 1;
+        // Fill the LRU way (empty ways have stamp 0 and win).
+        let victim = (0..ways.len())
+            .min_by_key(|&w| self.lru[set][w])
+            .expect("at least one way");
+        ways[victim] = Some(tag);
+        self.lru[set][victim] = self.clock;
+        self.params.miss_latency
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> DCache {
+        DCache::new(CacheParams {
+            sets: 2,
+            ways: 2,
+            line_bytes: 64,
+            hit_latency: 4,
+            miss_latency: 24,
+        })
+    }
+
+    #[test]
+    fn first_touch_misses_then_hits() {
+        let mut c = small();
+        assert_eq!(c.access(0x1000), 24);
+        assert_eq!(c.access(0x1008), 4, "same line");
+        assert_eq!(c.access(0x1040), 24, "next line");
+        assert_eq!(c.stats(), (1, 2));
+    }
+
+    #[test]
+    fn lru_replacement_within_a_set() {
+        let mut c = small();
+        // Three distinct tags mapping to set 0 (line numbers 0, 2, 4 mod 2).
+        let a = 0x0000; // line 0, set 0
+        let b = 0x0080; // line 2, set 0
+        let d = 0x0100; // line 4, set 0
+        c.access(a); // miss, fill
+        c.access(b); // miss, fill (set full)
+        c.access(a); // hit (refreshes a)
+        c.access(d); // miss, evicts b (LRU)
+        assert_eq!(c.access(a), 4, "a survived");
+        assert_eq!(c.access(b), 24, "b was evicted");
+    }
+
+    #[test]
+    fn sets_isolate_lines() {
+        let mut c = small();
+        c.access(0x0000); // set 0
+        assert_eq!(c.access(0x0040), 24, "set 1 cold");
+        assert_eq!(c.access(0x0000), 4);
+        assert_eq!(c.access(0x0040), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn geometry_validated() {
+        DCache::new(CacheParams {
+            sets: 3,
+            ..CacheParams::default()
+        });
+    }
+
+    #[test]
+    fn default_geometry_is_16k() {
+        let p = CacheParams::default();
+        assert_eq!(p.sets * p.ways * p.line_bytes, 16 * 1024);
+    }
+}

@@ -1,0 +1,277 @@
+//! Human-readable rendering of translated VLIW regions.
+//!
+//! ```
+//! use smarq_vliw::{Bundle, VliwOp, VliwProgram, ExitTarget, AliasAnnot};
+//! let p = VliwProgram {
+//!     bundles: vec![Bundle {
+//!         ops: vec![
+//!             VliwOp::IConst { rd: 1, value: 7 },
+//!             VliwOp::Load {
+//!                 rd: 2, base: 1, disp: 8,
+//!                 alias: AliasAnnot::Smarq { p: true, c: false, offset: 0 },
+//!                 tag: 3,
+//!             },
+//!         ],
+//!     }],
+//!     exits: vec![ExitTarget { guest_block: None }],
+//! };
+//! let text = p.to_string();
+//! assert!(text.contains("ld r2, [r1+8]"));
+//! assert!(text.contains("P@0"));
+//! ```
+
+use crate::isa::{AliasAnnot, Bundle, CondExit, VliwOp, VliwProgram};
+use smarq_guest::{AluOp, CmpOp, FpuOp};
+use std::fmt;
+
+fn alu(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::Mul => "mul",
+        AluOp::Div => "div",
+        AluOp::And => "and",
+        AluOp::Or => "or",
+        AluOp::Xor => "xor",
+        AluOp::Shl => "shl",
+        AluOp::Shr => "shr",
+        AluOp::Slt => "slt",
+    }
+}
+
+fn fpu(op: FpuOp) -> &'static str {
+    match op {
+        FpuOp::Add => "fadd",
+        FpuOp::Sub => "fsub",
+        FpuOp::Mul => "fmul",
+        FpuOp::Div => "fdiv",
+        FpuOp::Min => "fmin",
+        FpuOp::Max => "fmax",
+    }
+}
+
+fn cmp(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "eq",
+        CmpOp::Ne => "ne",
+        CmpOp::Lt => "lt",
+        CmpOp::Ge => "ge",
+    }
+}
+
+impl fmt::Display for AliasAnnot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            AliasAnnot::None => Ok(()),
+            AliasAnnot::Smarq { p, c, offset } => {
+                let bits = match (p, c) {
+                    (true, true) => "PC",
+                    (true, false) => "P",
+                    (false, true) => "C",
+                    (false, false) => "-",
+                };
+                write!(f, "{bits}@{offset}")
+            }
+            AliasAnnot::Efficeon { set, check_mask } => {
+                if let Some(r) = set {
+                    write!(f, "set#{r}")?;
+                    if check_mask != 0 {
+                        write!(f, ",")?;
+                    }
+                }
+                if check_mask != 0 {
+                    write!(f, "chk{check_mask:#x}")?;
+                }
+                Ok(())
+            }
+            AliasAnnot::AlatSet { entry } => write!(f, "alat#{entry}"),
+        }
+    }
+}
+
+fn annot_suffix(a: &AliasAnnot) -> String {
+    match a {
+        AliasAnnot::None => String::new(),
+        other => format!("  {{{other}}}"),
+    }
+}
+
+impl fmt::Display for VliwOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            VliwOp::Nop => write!(f, "nop"),
+            VliwOp::IConst { rd, value } => write!(f, "iconst r{rd}, {value}"),
+            VliwOp::Alu { op, rd, ra, rb } => {
+                write!(f, "{} r{rd}, r{ra}, r{rb}", alu(op))
+            }
+            VliwOp::AluImm { op, rd, ra, imm } => {
+                write!(f, "{}i r{rd}, r{ra}, {imm}", alu(op))
+            }
+            VliwOp::Copy { rd, ra } => write!(f, "mov r{rd}, r{ra}"),
+            VliwOp::FConst { fd, value } => write!(f, "fconst f{fd}, {value}"),
+            VliwOp::Fpu { op, fd, fa, fb } => {
+                write!(f, "{} f{fd}, f{fa}, f{fb}", fpu(op))
+            }
+            VliwOp::FCopy { fd, fa } => write!(f, "fmov f{fd}, f{fa}"),
+            VliwOp::ItoF { fd, ra } => write!(f, "itof f{fd}, r{ra}"),
+            VliwOp::FtoI { rd, fa } => write!(f, "ftoi r{rd}, f{fa}"),
+            VliwOp::Load {
+                rd,
+                base,
+                disp,
+                alias,
+                ..
+            } => write!(f, "ld r{rd}, [r{base}+{disp}]{}", annot_suffix(&alias)),
+            VliwOp::Store {
+                rs,
+                base,
+                disp,
+                alias,
+                ..
+            } => write!(f, "st r{rs}, [r{base}+{disp}]{}", annot_suffix(&alias)),
+            VliwOp::FLoad {
+                fd,
+                base,
+                disp,
+                alias,
+                ..
+            } => write!(f, "fld f{fd}, [r{base}+{disp}]{}", annot_suffix(&alias)),
+            VliwOp::FStore {
+                fs,
+                base,
+                disp,
+                alias,
+                ..
+            } => write!(f, "fst f{fs}, [r{base}+{disp}]{}", annot_suffix(&alias)),
+            VliwOp::AlatClear { entry } => write!(f, "alat.clear #{entry}"),
+            VliwOp::Rotate { amount } => write!(f, "ar.rotate {amount}"),
+            VliwOp::Amov { src, dst } => write!(f, "ar.amov {src}, {dst}"),
+            VliwOp::Exit { exit_id, cond } => match cond {
+                None => write!(f, "exit #{exit_id}"),
+                Some(CondExit { op, ra, rb }) => {
+                    write!(f, "exit.{} #{exit_id}, r{ra}, r{rb}", cmp(op))
+                }
+            },
+        }
+    }
+}
+
+impl fmt::Display for Bundle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for op in &self.ops {
+            if !first {
+                write!(f, " | ")?;
+            }
+            write!(f, "{op}")?;
+            first = false;
+        }
+        if first {
+            write!(f, "nop")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for VliwProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, b) in self.bundles.iter().enumerate() {
+            writeln!(f, "{i:4}: {b}")?;
+        }
+        for (i, e) in self.exits.iter().enumerate() {
+            match e.guest_block {
+                Some(b) => writeln!(f, "exit #{i} -> guest block B{b}")?,
+                None => writeln!(f, "exit #{i} -> halt")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::ExitTarget;
+
+    #[test]
+    fn ops_render() {
+        let cases: Vec<(VliwOp, &str)> = vec![
+            (VliwOp::Nop, "nop"),
+            (
+                VliwOp::Alu {
+                    op: AluOp::Mul,
+                    rd: 1,
+                    ra: 2,
+                    rb: 3,
+                },
+                "mul r1, r2, r3",
+            ),
+            (VliwOp::Rotate { amount: 2 }, "ar.rotate 2"),
+            (VliwOp::Amov { src: 1, dst: 0 }, "ar.amov 1, 0"),
+            (VliwOp::AlatClear { entry: 7 }, "alat.clear #7"),
+            (
+                VliwOp::Exit {
+                    exit_id: 1,
+                    cond: Some(CondExit {
+                        op: CmpOp::Ge,
+                        ra: 1,
+                        rb: 2,
+                    }),
+                },
+                "exit.ge #1, r1, r2",
+            ),
+        ];
+        for (op, want) in cases {
+            assert_eq!(op.to_string(), want);
+        }
+    }
+
+    #[test]
+    fn annotations_render() {
+        assert_eq!(
+            AliasAnnot::Smarq {
+                p: true,
+                c: true,
+                offset: 3
+            }
+            .to_string(),
+            "PC@3"
+        );
+        assert_eq!(
+            AliasAnnot::Efficeon {
+                set: Some(2),
+                check_mask: 0b101
+            }
+            .to_string(),
+            "set#2,chk0x5"
+        );
+        assert_eq!(AliasAnnot::AlatSet { entry: 4 }.to_string(), "alat#4");
+        assert_eq!(AliasAnnot::None.to_string(), "");
+    }
+
+    #[test]
+    fn program_render_includes_exits() {
+        let p = VliwProgram {
+            bundles: vec![Bundle {
+                ops: vec![
+                    VliwOp::IConst { rd: 1, value: 1 },
+                    VliwOp::Exit {
+                        exit_id: 0,
+                        cond: None,
+                    },
+                ],
+            }],
+            exits: vec![ExitTarget {
+                guest_block: Some(4),
+            }],
+        };
+        let text = p.to_string();
+        assert!(text.contains("iconst r1, 1 | exit #0"));
+        assert!(text.contains("exit #0 -> guest block B4"));
+    }
+
+    #[test]
+    fn empty_bundle_renders_nop() {
+        assert_eq!(Bundle::default().to_string(), "nop");
+    }
+}

@@ -1,0 +1,379 @@
+//! The target VLIW instruction set the dynamic optimizer emits.
+//!
+//! The machine has 64 integer and 64 floating-point registers. The dynamic
+//! binary translator keeps guest architectural state in registers 0–31 of
+//! each file and uses 32–63 as scratch (e.g. for renaming loads hoisted
+//! above side exits). Instructions are grouped into [`Bundle`]s issued
+//! in order, one bundle per cycle at best.
+
+use smarq_guest::{AluOp, CmpOp, FpuOp};
+use std::fmt;
+
+/// A byte range `[lo, hi]` accessed by a memory operation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MemRange {
+    /// First byte.
+    pub lo: u64,
+    /// Last byte (inclusive).
+    pub hi: u64,
+}
+
+impl MemRange {
+    /// The 8-byte range starting at `addr` (aligned down).
+    pub fn word(addr: u64) -> Self {
+        let lo = addr & !7;
+        MemRange { lo, hi: lo + 7 }
+    }
+
+    /// Whether two ranges overlap.
+    pub fn overlaps(self, other: MemRange) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+}
+
+/// Alias-detection annotation attached to a memory operation. Which
+/// variants appear depends on the hardware model the optimizer targets.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AliasAnnot {
+    /// No alias hardware interaction.
+    None,
+    /// SMARQ ordered-queue annotation: P/C bits plus a register offset
+    /// (paper §3.1).
+    Smarq {
+        /// Set an alias register after the access.
+        p: bool,
+        /// Check alias registers (at offsets `>=` `offset`) before the
+        /// access.
+        c: bool,
+        /// Register offset relative to the current `BASE`.
+        offset: u32,
+    },
+    /// Efficeon-style annotation: optionally set one register by index and
+    /// check an explicit bit-mask of registers (paper §2.2).
+    Efficeon {
+        /// Register index to set, if any.
+        set: Option<u8>,
+        /// Bit-mask of register indices to check.
+        check_mask: u64,
+    },
+    /// Itanium-ALAT-style: this (advanced) load allocates ALAT entry
+    /// `entry` (paper §2.3). Stores check **all** valid entries implicitly.
+    AlatSet {
+        /// Entry index.
+        entry: u32,
+    },
+}
+
+/// A conditional side exit out of the atomic region.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CondExit {
+    /// Predicate over two integer registers.
+    pub op: CmpOp,
+    /// First compared register.
+    pub ra: u8,
+    /// Second compared register.
+    pub rb: u8,
+}
+
+/// One VLIW operation (slot content).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum VliwOp {
+    /// No operation.
+    Nop,
+    /// `rd = value`.
+    IConst {
+        /// Destination (integer file).
+        rd: u8,
+        /// Immediate.
+        value: i64,
+    },
+    /// `rd = ra <op> rb`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: u8,
+        /// First source.
+        ra: u8,
+        /// Second source.
+        rb: u8,
+    },
+    /// `rd = ra <op> imm`.
+    AluImm {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: u8,
+        /// Source.
+        ra: u8,
+        /// Immediate.
+        imm: i64,
+    },
+    /// `rd = ra` (integer copy; used by load renaming and load elimination).
+    Copy {
+        /// Destination.
+        rd: u8,
+        /// Source.
+        ra: u8,
+    },
+    /// `fd = value`.
+    FConst {
+        /// Destination (fp file).
+        fd: u8,
+        /// Immediate.
+        value: f64,
+    },
+    /// `fd = fa <op> fb`.
+    Fpu {
+        /// Operation.
+        op: FpuOp,
+        /// Destination.
+        fd: u8,
+        /// First source.
+        fa: u8,
+        /// Second source.
+        fb: u8,
+    },
+    /// `fd = fa` (fp copy).
+    FCopy {
+        /// Destination.
+        fd: u8,
+        /// Source.
+        fa: u8,
+    },
+    /// `fd = (f64) ra`.
+    ItoF {
+        /// Destination.
+        fd: u8,
+        /// Source.
+        ra: u8,
+    },
+    /// `rd = (i64) fa`.
+    FtoI {
+        /// Destination.
+        rd: u8,
+        /// Source.
+        fa: u8,
+    },
+    /// Integer load `rd = mem[base + disp]`.
+    Load {
+        /// Destination.
+        rd: u8,
+        /// Base register.
+        base: u8,
+        /// Displacement.
+        disp: i64,
+        /// Alias-detection annotation.
+        alias: AliasAnnot,
+        /// Region-local memory-op tag for exception reporting.
+        tag: u32,
+    },
+    /// Integer store `mem[base + disp] = rs`.
+    Store {
+        /// Source.
+        rs: u8,
+        /// Base register.
+        base: u8,
+        /// Displacement.
+        disp: i64,
+        /// Alias-detection annotation.
+        alias: AliasAnnot,
+        /// Region-local memory-op tag.
+        tag: u32,
+    },
+    /// FP load `fd = mem[base + disp]`.
+    FLoad {
+        /// Destination.
+        fd: u8,
+        /// Base register.
+        base: u8,
+        /// Displacement.
+        disp: i64,
+        /// Alias-detection annotation.
+        alias: AliasAnnot,
+        /// Region-local memory-op tag.
+        tag: u32,
+    },
+    /// FP store `mem[base + disp] = fs`.
+    FStore {
+        /// Source.
+        fs: u8,
+        /// Base register.
+        base: u8,
+        /// Displacement.
+        disp: i64,
+        /// Alias-detection annotation.
+        alias: AliasAnnot,
+        /// Region-local memory-op tag.
+        tag: u32,
+    },
+    /// Invalidate ALAT entry `entry` (the hoisted load's home position has
+    /// been passed: its aliases no longer matter). Analogous to Itanium's
+    /// `chk.a` releasing the entry.
+    AlatClear {
+        /// Entry index.
+        entry: u32,
+    },
+    /// Rotate the alias register queue by `amount` (paper §3.2).
+    Rotate {
+        /// Rotation amount.
+        amount: u32,
+    },
+    /// Move alias register contents `src -> dst`, clearing `src`
+    /// (paper §3.3). `src == dst` is the clean-up form.
+    Amov {
+        /// Source offset.
+        src: u32,
+        /// Destination offset.
+        dst: u32,
+    },
+    /// Leave the region through exit `exit_id`; unconditional when `cond`
+    /// is `None`, otherwise only when the condition holds.
+    Exit {
+        /// Exit index into [`VliwProgram::exits`].
+        exit_id: u32,
+        /// Optional predicate.
+        cond: Option<CondExit>,
+    },
+}
+
+impl VliwOp {
+    /// The functional-unit class this op occupies.
+    pub fn slot_class(&self) -> SlotClass {
+        match self {
+            VliwOp::Load { .. }
+            | VliwOp::Store { .. }
+            | VliwOp::FLoad { .. }
+            | VliwOp::FStore { .. } => SlotClass::Mem,
+            VliwOp::Fpu { .. } | VliwOp::FCopy { .. } | VliwOp::FConst { .. } => SlotClass::Fpu,
+            VliwOp::Exit { .. } => SlotClass::Branch,
+            _ => SlotClass::Alu,
+        }
+    }
+
+    /// `true` for loads and stores.
+    pub fn is_mem(&self) -> bool {
+        self.slot_class() == SlotClass::Mem
+    }
+}
+
+/// Functional-unit classes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SlotClass {
+    /// Integer/branch-prep/copy/rotate/amov slot.
+    Alu,
+    /// Memory slot.
+    Mem,
+    /// Floating-point slot.
+    Fpu,
+    /// Branch/exit slot.
+    Branch,
+}
+
+impl fmt::Display for SlotClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SlotClass::Alu => "alu",
+            SlotClass::Mem => "mem",
+            SlotClass::Fpu => "fpu",
+            SlotClass::Branch => "br",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A VLIW bundle: operations issued together in one cycle.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Bundle {
+    /// Slot contents.
+    pub ops: Vec<VliwOp>,
+}
+
+/// Where a region exit transfers control.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ExitTarget {
+    /// The guest block to continue at; `None` means program halt.
+    pub guest_block: Option<u32>,
+}
+
+/// A translated, optimized atomic region.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct VliwProgram {
+    /// Bundles in issue order.
+    pub bundles: Vec<Bundle>,
+    /// Exit table; `Exit { exit_id }` indexes here.
+    pub exits: Vec<ExitTarget>,
+}
+
+impl VliwProgram {
+    /// Total operation count (excluding NOPs).
+    pub fn op_count(&self) -> usize {
+        self.bundles
+            .iter()
+            .flat_map(|b| &b.ops)
+            .filter(|op| !matches!(op, VliwOp::Nop))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_range_word_and_overlap() {
+        let a = MemRange::word(0x103);
+        assert_eq!((a.lo, a.hi), (0x100, 0x107));
+        let b = MemRange::word(0x108);
+        assert!(!a.overlaps(b));
+        assert!(a.overlaps(MemRange::word(0x100)));
+        assert!(a.overlaps(MemRange {
+            lo: 0x107,
+            hi: 0x110
+        }));
+    }
+
+    #[test]
+    fn slot_classes() {
+        let ld = VliwOp::Load {
+            rd: 1,
+            base: 2,
+            disp: 0,
+            alias: AliasAnnot::None,
+            tag: 0,
+        };
+        assert_eq!(ld.slot_class(), SlotClass::Mem);
+        assert!(ld.is_mem());
+        assert_eq!(
+            VliwOp::Fpu {
+                op: smarq_guest::FpuOp::Add,
+                fd: 1,
+                fa: 2,
+                fb: 3
+            }
+            .slot_class(),
+            SlotClass::Fpu
+        );
+        assert_eq!(
+            VliwOp::Exit {
+                exit_id: 0,
+                cond: None
+            }
+            .slot_class(),
+            SlotClass::Branch
+        );
+        assert_eq!(VliwOp::Rotate { amount: 1 }.slot_class(), SlotClass::Alu);
+        assert_eq!(VliwOp::Nop.slot_class(), SlotClass::Alu);
+    }
+
+    #[test]
+    fn op_count_skips_nops() {
+        let p = VliwProgram {
+            bundles: vec![Bundle {
+                ops: vec![VliwOp::Nop, VliwOp::Rotate { amount: 1 }],
+            }],
+            exits: vec![],
+        };
+        assert_eq!(p.op_count(), 1);
+    }
+}

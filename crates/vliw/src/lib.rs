@@ -1,0 +1,38 @@
+//! # smarq-vliw — in-order VLIW machine substrate
+//!
+//! The SMARQ paper evaluates on "an internal VLIW CPU modeled by a
+//! cycle-accurate simulator" with atomic-region support and 64 alias
+//! registers (paper §6, Table 2). This crate provides that substrate:
+//!
+//! * the target [`VliwOp`]/[`Bundle`]/[`VliwProgram`] instruction set the
+//!   dynamic optimizer emits, including alias annotations, `ROTATE`,
+//!   `AMOV`, and region side exits;
+//! * a [`MachineConfig`] describing issue width, functional-unit mix and
+//!   latencies (our substitute for the paper's lost Table 2 — see
+//!   EXPERIMENTS.md);
+//! * the four alias-detection hardware models of the paper's comparison
+//!   (Table 1): the SMARQ ordered queue ([`SmarqQueueHw`]), a
+//!   Transmeta-Efficeon-style bit-mask file ([`EfficeonHw`]), an
+//!   Itanium-ALAT-style table with false positives ([`AlatHw`]), and
+//!   [`NoAliasHw`];
+//! * a cycle-level in-order [`Simulator`] with atomic-region semantics:
+//!   register checkpoint at entry, memory undo log, rollback on alias
+//!   exception.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alias_hw;
+mod cache;
+mod disasm;
+mod isa;
+mod machine;
+mod sim;
+
+pub use alias_hw::{
+    AlatHw, AliasHardware, AliasViolation, AnyAliasHw, EfficeonHw, HwKind, NoAliasHw, SmarqQueueHw,
+};
+pub use cache::{CacheParams, DCache};
+pub use isa::{AliasAnnot, Bundle, CondExit, ExitTarget, MemRange, SlotClass, VliwOp, VliwProgram};
+pub use machine::MachineConfig;
+pub use sim::{RegionOutcome, RegionStats, SimError, Simulator, TraceEvent, VliwState};

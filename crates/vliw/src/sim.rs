@@ -1,0 +1,760 @@
+//! Cycle-level in-order simulator with atomic-region semantics.
+//!
+//! The simulator executes one translated region ([`VliwProgram`]) against
+//! the machine state: bundles issue in order (one per cycle at best), each
+//! bundle stalling until all of its operands are ready (scoreboard). An
+//! atomic region checkpoints the register files on entry and logs memory
+//! writes; an alias exception rolls everything back (paper §1, Figure 1).
+
+use crate::alias_hw::{AliasHardware, AliasViolation};
+use crate::cache::DCache;
+use crate::isa::{AliasAnnot, CondExit, MemRange, VliwOp, VliwProgram};
+use crate::machine::MachineConfig;
+use smarq_guest::Memory;
+use std::error::Error;
+use std::fmt;
+
+/// The VLIW register state: 64 integer + 64 floating-point registers.
+/// Guest architectural state lives in registers 0–31 of each file.
+#[derive(Clone, Debug)]
+pub struct VliwState {
+    /// Integer register file.
+    pub regs: [i64; 64],
+    /// Floating-point register file.
+    pub fregs: [f64; 64],
+}
+
+impl Default for VliwState {
+    fn default() -> Self {
+        VliwState {
+            regs: [0; 64],
+            fregs: [0.0; 64],
+        }
+    }
+}
+
+impl VliwState {
+    /// Creates a zeroed state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads guest registers (32+32) into the low half of the files.
+    pub fn load_guest(&mut self, regs: &[i64; 32], fregs: &[f64; 32]) {
+        self.regs[..32].copy_from_slice(regs);
+        self.fregs[..32].copy_from_slice(fregs);
+    }
+
+    /// Stores the low half of the files back to guest registers.
+    pub fn store_guest(&self, regs: &mut [i64; 32], fregs: &mut [f64; 32]) {
+        regs.copy_from_slice(&self.regs[..32]);
+        fregs.copy_from_slice(&self.fregs[..32]);
+    }
+}
+
+/// One issued bundle, reported through [`Simulator::run_region_traced`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceEvent {
+    /// Index of the bundle in the program.
+    pub bundle: usize,
+    /// Cycle at which it issued.
+    pub issue_cycle: u64,
+    /// Number of non-NOP operations it carried.
+    pub ops: u32,
+}
+
+/// Why region execution ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RegionOutcome {
+    /// The region left through exit `exit_id`; state committed.
+    Exited {
+        /// Index into [`VliwProgram::exits`].
+        exit_id: u32,
+    },
+    /// An alias exception: state rolled back, region must be re-optimized.
+    AliasException(AliasViolation),
+}
+
+/// Per-region execution statistics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RegionStats {
+    /// Cycles consumed (including checkpoint and, on exception, rollback).
+    pub cycles: u64,
+    /// Bundles issued.
+    pub bundles: u64,
+    /// Non-NOP operations executed.
+    pub ops: u64,
+    /// Memory operations executed.
+    pub mem_ops: u64,
+    /// Memory operations carrying an alias annotation.
+    pub alias_checks: u64,
+    /// Alias entries actually examined by the hardware (an energy proxy).
+    pub entries_scanned: u64,
+}
+
+/// Simulator errors that indicate translator bugs (not runtime events).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The region ran off the end without an unconditional exit.
+    MissingExit,
+    /// An `Exit` referenced an id outside the program's exit table.
+    BadExitId {
+        /// The offending id.
+        exit_id: u32,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MissingExit => f.write_str("region fell off the end without an exit"),
+            SimError::BadExitId { exit_id } => write!(f, "exit id {exit_id} out of range"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// The region simulator. Owns the machine configuration and the alias
+/// hardware; borrows the state and memory per region execution.
+pub struct Simulator<H> {
+    config: MachineConfig,
+    hw: H,
+    dcache: Option<DCache>,
+}
+
+impl<H: AliasHardware> Simulator<H> {
+    /// Creates a simulator for `config` using alias hardware `hw`.
+    pub fn new(config: MachineConfig, hw: H) -> Self {
+        Simulator {
+            config,
+            hw,
+            dcache: config.dcache.map(DCache::new),
+        }
+    }
+
+    /// Load-use latency of an access to `addr` (cache-dependent when a
+    /// data cache is configured).
+    fn load_latency(&mut self, addr: u64) -> u64 {
+        match &mut self.dcache {
+            Some(c) => u64::from(c.access(addr)),
+            None => u64::from(self.config.lat_load),
+        }
+    }
+
+    /// `(hits, misses)` of the data cache, if configured.
+    pub fn dcache_stats(&self) -> Option<(u64, u64)> {
+        self.dcache.as_ref().map(|c| c.stats())
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Immutable access to the alias hardware (for tests/statistics).
+    pub fn hw(&self) -> &H {
+        &self.hw
+    }
+
+    /// Executes one atomic region.
+    ///
+    /// On [`RegionOutcome::Exited`] the state and memory reflect the
+    /// committed region. On [`RegionOutcome::AliasException`] both are
+    /// restored to their pre-region contents and the statistics include
+    /// the configured rollback penalty.
+    ///
+    /// # Errors
+    /// [`SimError`] on malformed programs (translator bugs).
+    pub fn run_region(
+        &mut self,
+        program: &VliwProgram,
+        state: &mut VliwState,
+        mem: &mut Memory,
+    ) -> Result<(RegionOutcome, RegionStats), SimError> {
+        self.run_region_traced(program, state, mem, |_| {})
+    }
+
+    /// Like [`Simulator::run_region`], but invokes `trace` for every
+    /// issued bundle — a cheap hook for debugging schedules and stalls.
+    ///
+    /// # Errors
+    /// [`SimError`] on malformed programs (translator bugs).
+    pub fn run_region_traced(
+        &mut self,
+        program: &VliwProgram,
+        state: &mut VliwState,
+        mem: &mut Memory,
+        mut trace: impl FnMut(TraceEvent),
+    ) -> Result<(RegionOutcome, RegionStats), SimError> {
+        let cfg = self.config;
+        let mut stats = RegionStats {
+            cycles: cfg.checkpoint_cycles,
+            ..RegionStats::default()
+        };
+
+        // Atomic region entry: checkpoint registers, reset detection state.
+        let checkpoint = state.clone();
+        let mut undo_log: Vec<(u64, u64)> = Vec::new();
+        self.hw.reset();
+
+        // Scoreboard: cycle at which each register's value is ready.
+        let mut int_ready = [0u64; 64];
+        let mut fp_ready = [0u64; 64];
+        let mut clock: u64 = cfg.checkpoint_cycles;
+
+        let mut outcome: Option<RegionOutcome> = None;
+
+        'bundles: for (bundle_index, bundle) in program.bundles.iter().enumerate() {
+            // In-order issue: the bundle stalls until every operand of
+            // every slot is ready.
+            let mut issue = clock;
+            for op in &bundle.ops {
+                for r in int_sources(op) {
+                    issue = issue.max(int_ready[r as usize]);
+                }
+                for r in fp_sources(op) {
+                    issue = issue.max(fp_ready[r as usize]);
+                }
+            }
+            stats.bundles += 1;
+            clock = issue + 1;
+            trace(TraceEvent {
+                bundle: bundle_index,
+                issue_cycle: issue,
+                ops: bundle
+                    .ops
+                    .iter()
+                    .filter(|o| !matches!(o, VliwOp::Nop))
+                    .count() as u32,
+            });
+
+            for op in &bundle.ops {
+                if !matches!(op, VliwOp::Nop) {
+                    stats.ops += 1;
+                }
+                match *op {
+                    VliwOp::Nop => {}
+                    VliwOp::IConst { rd, value } => {
+                        state.regs[rd as usize] = value;
+                        int_ready[rd as usize] = issue + u64::from(cfg.lat_int);
+                    }
+                    VliwOp::Alu { op, rd, ra, rb } => {
+                        state.regs[rd as usize] =
+                            op.apply(state.regs[ra as usize], state.regs[rb as usize]);
+                        int_ready[rd as usize] = issue + u64::from(cfg.alu_latency(op));
+                    }
+                    VliwOp::AluImm { op, rd, ra, imm } => {
+                        state.regs[rd as usize] = op.apply(state.regs[ra as usize], imm);
+                        int_ready[rd as usize] = issue + u64::from(cfg.alu_latency(op));
+                    }
+                    VliwOp::Copy { rd, ra } => {
+                        state.regs[rd as usize] = state.regs[ra as usize];
+                        int_ready[rd as usize] = issue + u64::from(cfg.lat_int);
+                    }
+                    VliwOp::FConst { fd, value } => {
+                        state.fregs[fd as usize] = value;
+                        fp_ready[fd as usize] = issue + u64::from(cfg.lat_int);
+                    }
+                    VliwOp::Fpu { op, fd, fa, fb } => {
+                        state.fregs[fd as usize] =
+                            op.apply(state.fregs[fa as usize], state.fregs[fb as usize]);
+                        fp_ready[fd as usize] = issue + u64::from(cfg.fpu_latency(op));
+                    }
+                    VliwOp::FCopy { fd, fa } => {
+                        state.fregs[fd as usize] = state.fregs[fa as usize];
+                        fp_ready[fd as usize] = issue + u64::from(cfg.lat_int);
+                    }
+                    VliwOp::ItoF { fd, ra } => {
+                        state.fregs[fd as usize] = state.regs[ra as usize] as f64;
+                        fp_ready[fd as usize] = issue + u64::from(cfg.lat_int);
+                    }
+                    VliwOp::FtoI { rd, fa } => {
+                        state.regs[rd as usize] = state.fregs[fa as usize] as i64;
+                        int_ready[rd as usize] = issue + u64::from(cfg.lat_int);
+                    }
+                    VliwOp::Load {
+                        rd,
+                        base,
+                        disp,
+                        alias,
+                        tag,
+                    } => {
+                        let addr = (state.regs[base as usize].wrapping_add(disp)) as u64;
+                        stats.mem_ops += 1;
+                        if let Err(v) = self.mem_hook(alias, addr, true, tag, &mut stats) {
+                            outcome = Some(RegionOutcome::AliasException(v));
+                            break 'bundles;
+                        }
+                        state.regs[rd as usize] = mem.read(addr) as i64;
+                        int_ready[rd as usize] = issue + self.load_latency(addr);
+                    }
+                    VliwOp::FLoad {
+                        fd,
+                        base,
+                        disp,
+                        alias,
+                        tag,
+                    } => {
+                        let addr = (state.regs[base as usize].wrapping_add(disp)) as u64;
+                        stats.mem_ops += 1;
+                        if let Err(v) = self.mem_hook(alias, addr, true, tag, &mut stats) {
+                            outcome = Some(RegionOutcome::AliasException(v));
+                            break 'bundles;
+                        }
+                        state.fregs[fd as usize] = mem.read_f64(addr);
+                        fp_ready[fd as usize] = issue + self.load_latency(addr);
+                    }
+                    VliwOp::Store {
+                        rs,
+                        base,
+                        disp,
+                        alias,
+                        tag,
+                    } => {
+                        let addr = (state.regs[base as usize].wrapping_add(disp)) as u64;
+                        stats.mem_ops += 1;
+                        if let Err(v) = self.mem_hook(alias, addr, false, tag, &mut stats) {
+                            outcome = Some(RegionOutcome::AliasException(v));
+                            break 'bundles;
+                        }
+                        undo_log.push((addr, mem.read(addr)));
+                        mem.write(addr, state.regs[rs as usize] as u64);
+                        let _ = self.load_latency(addr); // write-allocate
+                    }
+                    VliwOp::FStore {
+                        fs,
+                        base,
+                        disp,
+                        alias,
+                        tag,
+                    } => {
+                        let addr = (state.regs[base as usize].wrapping_add(disp)) as u64;
+                        stats.mem_ops += 1;
+                        if let Err(v) = self.mem_hook(alias, addr, false, tag, &mut stats) {
+                            outcome = Some(RegionOutcome::AliasException(v));
+                            break 'bundles;
+                        }
+                        undo_log.push((addr, mem.read(addr)));
+                        mem.write_f64(addr, state.fregs[fs as usize]);
+                        let _ = self.load_latency(addr); // write-allocate
+                    }
+                    VliwOp::AlatClear { entry } => self.hw.alat_clear(entry),
+                    VliwOp::Rotate { amount } => self.hw.rotate(amount),
+                    VliwOp::Amov { src, dst } => self.hw.amov(src, dst),
+                    VliwOp::Exit { exit_id, cond } => {
+                        if exit_id as usize >= program.exits.len() {
+                            return Err(SimError::BadExitId { exit_id });
+                        }
+                        let take = match cond {
+                            None => true,
+                            Some(CondExit { op, ra, rb }) => {
+                                op.eval(state.regs[ra as usize], state.regs[rb as usize])
+                            }
+                        };
+                        if take {
+                            outcome = Some(RegionOutcome::Exited { exit_id });
+                            break 'bundles;
+                        }
+                    }
+                }
+            }
+        }
+
+        stats.cycles = clock.max(stats.cycles);
+        match outcome {
+            Some(RegionOutcome::Exited { exit_id }) => {
+                // Commit: keep state and memory.
+                Ok((RegionOutcome::Exited { exit_id }, stats))
+            }
+            Some(RegionOutcome::AliasException(v)) => {
+                // Rollback: restore registers and memory, pay the penalty.
+                *state = checkpoint;
+                for (addr, old) in undo_log.into_iter().rev() {
+                    mem.write(addr, old);
+                }
+                self.hw.reset();
+                stats.cycles += self.config.rollback_cycles;
+                Ok((RegionOutcome::AliasException(v), stats))
+            }
+            None => Err(SimError::MissingExit),
+        }
+    }
+
+    fn mem_hook(
+        &mut self,
+        alias: AliasAnnot,
+        addr: u64,
+        is_load: bool,
+        tag: u32,
+        stats: &mut RegionStats,
+    ) -> Result<(), AliasViolation> {
+        if !matches!(alias, AliasAnnot::None) {
+            stats.alias_checks += 1;
+        }
+        let examined = self
+            .hw
+            .mem_access(alias, MemRange::word(addr), is_load, tag)?;
+        stats.entries_scanned += u64::from(examined);
+        Ok(())
+    }
+}
+
+/// Integer source registers of an op (for the scoreboard).
+fn int_sources(op: &VliwOp) -> impl Iterator<Item = u8> {
+    let mut v: [Option<u8>; 2] = [None, None];
+    match *op {
+        VliwOp::Alu { ra, rb, .. } => v = [Some(ra), Some(rb)],
+        VliwOp::AluImm { ra, .. } | VliwOp::Copy { ra, .. } | VliwOp::ItoF { ra, .. } => {
+            v[0] = Some(ra)
+        }
+        VliwOp::Load { base, .. } | VliwOp::FLoad { base, .. } => v[0] = Some(base),
+        VliwOp::Store { rs, base, .. } => v = [Some(rs), Some(base)],
+        VliwOp::FStore { base, .. } => v[0] = Some(base),
+        VliwOp::Exit {
+            cond: Some(CondExit { ra, rb, .. }),
+            ..
+        } => v = [Some(ra), Some(rb)],
+        _ => {}
+    }
+    v.into_iter().flatten()
+}
+
+/// FP source registers of an op.
+fn fp_sources(op: &VliwOp) -> impl Iterator<Item = u8> {
+    let mut v: [Option<u8>; 2] = [None, None];
+    match *op {
+        VliwOp::Fpu { fa, fb, .. } => v = [Some(fa), Some(fb)],
+        VliwOp::FCopy { fa, .. } | VliwOp::FtoI { fa, .. } => v[0] = Some(fa),
+        VliwOp::FStore { fs, .. } => v[0] = Some(fs),
+        _ => {}
+    }
+    v.into_iter().flatten()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alias_hw::{NoAliasHw, SmarqQueueHw};
+    use crate::isa::{Bundle, ExitTarget};
+    use smarq_guest::AluOp;
+
+    fn exit_program(bundles: Vec<Bundle>) -> VliwProgram {
+        let mut bundles = bundles;
+        bundles.push(Bundle {
+            ops: vec![VliwOp::Exit {
+                exit_id: 0,
+                cond: None,
+            }],
+        });
+        VliwProgram {
+            bundles,
+            exits: vec![ExitTarget {
+                guest_block: Some(0),
+            }],
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_commit() {
+        let p = exit_program(vec![
+            Bundle {
+                ops: vec![
+                    VliwOp::IConst { rd: 1, value: 6 },
+                    VliwOp::IConst { rd: 2, value: 7 },
+                ],
+            },
+            Bundle {
+                ops: vec![VliwOp::Alu {
+                    op: AluOp::Mul,
+                    rd: 3,
+                    ra: 1,
+                    rb: 2,
+                }],
+            },
+        ]);
+        let mut sim = Simulator::new(MachineConfig::default(), NoAliasHw);
+        let mut st = VliwState::new();
+        let mut mem = Memory::new();
+        let (out, stats) = sim.run_region(&p, &mut st, &mut mem).unwrap();
+        assert_eq!(out, RegionOutcome::Exited { exit_id: 0 });
+        assert_eq!(st.regs[3], 42);
+        assert!(stats.cycles >= 3);
+        assert_eq!(stats.bundles, 3);
+    }
+
+    #[test]
+    fn scoreboard_stalls_on_load_use() {
+        // ld r1=[r2]; add r3 = r1+r1 must wait out the load latency.
+        let p = exit_program(vec![
+            Bundle {
+                ops: vec![VliwOp::Load {
+                    rd: 1,
+                    base: 2,
+                    disp: 0,
+                    alias: AliasAnnot::None,
+                    tag: 0,
+                }],
+            },
+            Bundle {
+                ops: vec![VliwOp::Alu {
+                    op: AluOp::Add,
+                    rd: 3,
+                    ra: 1,
+                    rb: 1,
+                }],
+            },
+        ]);
+        let cfg = MachineConfig::default();
+        let mut sim = Simulator::new(cfg, NoAliasHw);
+        let mut st = VliwState::new();
+        let mut mem = Memory::new();
+        mem.write(0, 21);
+        let (_, stats) = sim.run_region(&p, &mut st, &mut mem).unwrap();
+        assert_eq!(st.regs[3], 42);
+        // checkpoint(1) + load issues at 1 + dependent add waits until
+        // 1 + lat_load, then exit: strictly more than 4 cycles.
+        assert!(
+            stats.cycles >= u64::from(cfg.lat_load) + 2,
+            "cycles = {}",
+            stats.cycles
+        );
+    }
+
+    #[test]
+    fn conditional_exit_taken_and_not_taken() {
+        let mk = |r1: i64| {
+            let p = VliwProgram {
+                bundles: vec![
+                    Bundle {
+                        ops: vec![VliwOp::IConst { rd: 1, value: r1 }],
+                    },
+                    Bundle {
+                        ops: vec![VliwOp::Exit {
+                            exit_id: 1,
+                            cond: Some(CondExit {
+                                op: smarq_guest::CmpOp::Ne,
+                                ra: 1,
+                                rb: 0,
+                            }),
+                        }],
+                    },
+                    Bundle {
+                        ops: vec![VliwOp::Exit {
+                            exit_id: 0,
+                            cond: None,
+                        }],
+                    },
+                ],
+                exits: vec![
+                    ExitTarget {
+                        guest_block: Some(10),
+                    },
+                    ExitTarget {
+                        guest_block: Some(20),
+                    },
+                ],
+            };
+            let mut sim = Simulator::new(MachineConfig::default(), NoAliasHw);
+            let mut st = VliwState::new();
+            let mut mem = Memory::new();
+            sim.run_region(&p, &mut st, &mut mem).unwrap().0
+        };
+        assert_eq!(mk(5), RegionOutcome::Exited { exit_id: 1 });
+        assert_eq!(mk(0), RegionOutcome::Exited { exit_id: 0 });
+    }
+
+    #[test]
+    fn alias_exception_rolls_back_state_and_memory() {
+        // A hoisted load (P) then an aliasing store (C): exception; the
+        // store before it must be undone and registers restored.
+        let p = exit_program(vec![
+            Bundle {
+                ops: vec![VliwOp::IConst {
+                    rd: 1,
+                    value: 0x100,
+                }],
+            },
+            Bundle {
+                ops: vec![VliwOp::Load {
+                    rd: 2,
+                    base: 1,
+                    disp: 0,
+                    alias: AliasAnnot::Smarq {
+                        p: true,
+                        c: false,
+                        offset: 0,
+                    },
+                    tag: 1,
+                }],
+            },
+            Bundle {
+                // An unrelated store that will need undoing.
+                ops: vec![VliwOp::Store {
+                    rs: 1,
+                    base: 1,
+                    disp: 64,
+                    alias: AliasAnnot::None,
+                    tag: 2,
+                }],
+            },
+            Bundle {
+                // Aliasing store: checks offset 0 and faults.
+                ops: vec![VliwOp::Store {
+                    rs: 1,
+                    base: 1,
+                    disp: 0,
+                    alias: AliasAnnot::Smarq {
+                        p: false,
+                        c: true,
+                        offset: 0,
+                    },
+                    tag: 3,
+                }],
+            },
+        ]);
+        let cfg = MachineConfig::default();
+        let mut sim = Simulator::new(cfg, SmarqQueueHw::new(cfg.num_alias_regs));
+        let mut st = VliwState::new();
+        let mut mem = Memory::new();
+        mem.write(0x100, 7);
+        let mem_before = mem.clone();
+        let (out, stats) = sim.run_region(&p, &mut st, &mut mem).unwrap();
+        match out {
+            RegionOutcome::AliasException(v) => {
+                assert_eq!(v.checker_tag, 3);
+                assert_eq!(v.producer_tag, 1);
+            }
+            other => panic!("expected exception, got {other:?}"),
+        }
+        assert_eq!(st.regs[1], 0, "registers rolled back");
+        assert_eq!(st.regs[2], 0);
+        assert_eq!(mem, mem_before, "memory rolled back");
+        assert!(stats.cycles >= cfg.rollback_cycles);
+    }
+
+    #[test]
+    fn missing_exit_is_a_translator_bug() {
+        let p = VliwProgram {
+            bundles: vec![Bundle {
+                ops: vec![VliwOp::IConst { rd: 1, value: 1 }],
+            }],
+            exits: vec![],
+        };
+        let mut sim = Simulator::new(MachineConfig::default(), NoAliasHw);
+        let mut st = VliwState::new();
+        let mut mem = Memory::new();
+        assert_eq!(
+            sim.run_region(&p, &mut st, &mut mem).unwrap_err(),
+            SimError::MissingExit
+        );
+    }
+
+    #[test]
+    fn bad_exit_id_reported() {
+        let p = VliwProgram {
+            bundles: vec![Bundle {
+                ops: vec![VliwOp::Exit {
+                    exit_id: 3,
+                    cond: None,
+                }],
+            }],
+            exits: vec![],
+        };
+        let mut sim = Simulator::new(MachineConfig::default(), NoAliasHw);
+        let mut st = VliwState::new();
+        let mut mem = Memory::new();
+        assert_eq!(
+            sim.run_region(&p, &mut st, &mut mem).unwrap_err(),
+            SimError::BadExitId { exit_id: 3 }
+        );
+    }
+
+    #[test]
+    fn guest_state_roundtrip() {
+        let mut st = VliwState::new();
+        let mut regs = [0i64; 32];
+        let mut fregs = [0f64; 32];
+        regs[5] = 99;
+        fregs[7] = 2.5;
+        st.load_guest(&regs, &fregs);
+        assert_eq!(st.regs[5], 99);
+        let mut r2 = [0i64; 32];
+        let mut f2 = [0f64; 32];
+        st.store_guest(&mut r2, &mut f2);
+        assert_eq!(r2, regs);
+        assert_eq!(f2, fregs);
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::alias_hw::NoAliasHw;
+    use crate::isa::{Bundle, ExitTarget};
+
+    #[test]
+    fn trace_reports_every_bundle_with_monotone_cycles() {
+        let p = VliwProgram {
+            bundles: vec![
+                Bundle {
+                    ops: vec![VliwOp::IConst { rd: 1, value: 2 }],
+                },
+                Bundle {
+                    ops: vec![VliwOp::Alu {
+                        op: smarq_guest::AluOp::Mul,
+                        rd: 2,
+                        ra: 1,
+                        rb: 1,
+                    }],
+                },
+                Bundle {
+                    ops: vec![VliwOp::Exit {
+                        exit_id: 0,
+                        cond: None,
+                    }],
+                },
+            ],
+            exits: vec![ExitTarget {
+                guest_block: Some(0),
+            }],
+        };
+        let mut sim = Simulator::new(MachineConfig::default(), NoAliasHw);
+        let mut st = VliwState::new();
+        let mut mem = Memory::new();
+        let mut events = Vec::new();
+        sim.run_region_traced(&p, &mut st, &mut mem, |e| events.push(e))
+            .unwrap();
+        assert_eq!(events.len(), 3);
+        assert!(events
+            .windows(2)
+            .all(|w| w[0].issue_cycle < w[1].issue_cycle));
+        assert_eq!(events[0].ops, 1);
+        assert_eq!(events[0].bundle, 0);
+    }
+
+    #[test]
+    fn trace_stops_at_taken_exit() {
+        let p = VliwProgram {
+            bundles: vec![
+                Bundle {
+                    ops: vec![VliwOp::Exit {
+                        exit_id: 0,
+                        cond: None,
+                    }],
+                },
+                Bundle {
+                    ops: vec![VliwOp::IConst { rd: 1, value: 1 }],
+                },
+            ],
+            exits: vec![ExitTarget { guest_block: None }],
+        };
+        let mut sim = Simulator::new(MachineConfig::default(), NoAliasHw);
+        let mut st = VliwState::new();
+        let mut mem = Memory::new();
+        let mut n = 0;
+        sim.run_region_traced(&p, &mut st, &mut mem, |_| n += 1)
+            .unwrap();
+        assert_eq!(n, 1, "bundles after the taken exit never issue");
+    }
+}

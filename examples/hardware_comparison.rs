@@ -1,0 +1,52 @@
+//! Compares the four alias-detection hardware schemes (paper Table 1 and
+//! Figure 15) on one workload: run the same guest kernel under each scheme
+//! and report cycles, rollbacks and speedups.
+//!
+//! Run with: `cargo run --release --example hardware_comparison [workload]`
+
+use smarq_opt::OptConfig;
+use smarq_runtime::{DynOptSystem, SystemConfig};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "ammp".into());
+    let Some(w) = smarq_workloads::by_name(&name) else {
+        eprintln!(
+            "unknown workload '{name}'; available: {}",
+            smarq_workloads::WORKLOAD_NAMES.join(", ")
+        );
+        std::process::exit(2);
+    };
+    println!("workload: {} — {}", w.name, w.description);
+
+    let configs: [(&str, OptConfig); 6] = [
+        ("no alias hardware", OptConfig::no_alias_hw()),
+        ("SMARQ (64 regs)", OptConfig::smarq(64)),
+        ("SMARQ (16 regs)", OptConfig::smarq(16)),
+        ("Efficeon (15 regs)", OptConfig::efficeon()),
+        ("Itanium-like ALAT", OptConfig::alat()),
+        (
+            "SMARQ, no st-reorder",
+            OptConfig::smarq_no_store_reorder(64),
+        ),
+    ];
+
+    let mut baseline = None;
+    for (label, opt) in configs {
+        let mut sys = DynOptSystem::new(w.program.clone(), SystemConfig::with_opt(opt));
+        sys.run_to_completion(u64::MAX);
+        let s = sys.stats();
+        let cycles = s.total_cycles();
+        let base = *baseline.get_or_insert(cycles);
+        let ws = s
+            .per_region
+            .iter()
+            .map(|r| r.opt.working_set)
+            .max()
+            .unwrap_or(0);
+        println!(
+            "{label:22} {cycles:>10} cycles  speedup {:>5.3}  rollbacks {:>2}  alias-reg working set {ws}",
+            base as f64 / cycles as f64,
+            s.rollbacks,
+        );
+    }
+}

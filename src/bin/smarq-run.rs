@@ -1,0 +1,182 @@
+//! `smarq-run` — execute a guest assembly file on the dynamic optimization
+//! system.
+//!
+//! ```text
+//! smarq-run FILE.s [--hw smarq|smarq16|efficeon|alat|none]
+//!                  [--regs N] [--unroll N] [--budget N]
+//!                  [--dump-region] [--compare]
+//! ```
+
+use smarq_opt::OptConfig;
+use smarq_runtime::{DynOptSystem, SystemConfig};
+use std::process::ExitCode;
+
+struct Args {
+    file: String,
+    hw: String,
+    regs: u32,
+    unroll: u32,
+    budget: u64,
+    dump_region: bool,
+    compare: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: smarq-run FILE.s [--hw smarq|smarq16|efficeon|alat|none] \
+         [--regs N] [--unroll N] [--budget N] [--dump-region] [--compare]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut args = Args {
+        file: String::new(),
+        hw: "smarq".into(),
+        regs: 64,
+        unroll: 1,
+        budget: u64::MAX,
+        dump_region: false,
+        compare: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--hw" => args.hw = value("--hw")?,
+            "--regs" => {
+                args.regs = value("--regs")?.parse().map_err(|_| usage())?;
+            }
+            "--unroll" => {
+                args.unroll = value("--unroll")?.parse().map_err(|_| usage())?;
+            }
+            "--budget" => {
+                args.budget = value("--budget")?.parse().map_err(|_| usage())?;
+            }
+            "--dump-region" => args.dump_region = true,
+            "--compare" => args.compare = true,
+            "-h" | "--help" => return Err(usage()),
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag '{other}'");
+                return Err(usage());
+            }
+            file => {
+                if !args.file.is_empty() {
+                    return Err(usage());
+                }
+                args.file = file.to_string();
+            }
+        }
+    }
+    if args.file.is_empty() {
+        return Err(usage());
+    }
+    Ok(args)
+}
+
+fn opt_for(hw: &str, regs: u32) -> Option<OptConfig> {
+    Some(match hw {
+        "smarq" => OptConfig::smarq(regs),
+        "smarq16" => OptConfig::smarq(16),
+        "efficeon" => OptConfig::efficeon(),
+        "alat" => OptConfig::alat(),
+        "none" => OptConfig::no_alias_hw(),
+        _ => return None,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let src = match std::fs::read_to_string(&args.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", args.file);
+            return ExitCode::from(1);
+        }
+    };
+    let program = match smarq_guest::parse_program(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{}: {e}", args.file);
+            return ExitCode::from(1);
+        }
+    };
+    let Some(opt) = opt_for(&args.hw, args.regs) else {
+        eprintln!("unknown hardware scheme '{}'", args.hw);
+        return usage();
+    };
+
+    let mut cfg = SystemConfig::with_opt(opt);
+    cfg.unroll_factor = args.unroll;
+    let mut sys = DynOptSystem::new(program.clone(), cfg);
+    sys.run_to_completion(args.budget);
+    let s = sys.stats();
+
+    println!("hardware:            {}", args.hw);
+    println!("guest instructions:  {}", s.guest_instrs());
+    println!("simulated cycles:    {}", s.total_cycles());
+    println!(
+        "regions:             {} formed, {} entries, {} rollbacks, {} re-translations",
+        s.regions_formed, s.region_entries, s.rollbacks, s.retranslations
+    );
+    println!(
+        "optimization:        {:.4}% of execution time",
+        s.optimization_overhead() * 100.0
+    );
+    if let Some(r) = s.per_region.iter().max_by_key(|r| r.entries) {
+        println!(
+            "hot region:          {} memops, working set {}, {} checks, {} antis",
+            r.opt.mem_ops, r.opt.working_set, r.opt.checks, r.opt.antis
+        );
+    }
+
+    if args.dump_region {
+        // Re-derive the hot region's translation for display.
+        use smarq_ir::{form_superblock, unroll_superblock, FormationParams};
+        let mut interp = smarq_guest::Interpreter::new();
+        interp.run(&program, 100_000);
+        if let Some(rec) = s.per_region.iter().max_by_key(|r| r.entries) {
+            let sb = form_superblock(
+                &program,
+                interp.profile(),
+                rec.entry,
+                FormationParams::default(),
+            );
+            let (sb, _) = unroll_superblock(&sb, args.unroll, 512);
+            let Some(opt) = opt_for(&args.hw, args.regs) else {
+                unreachable!("validated above");
+            };
+            let o = smarq_opt::optimize_superblock(
+                &sb,
+                &opt,
+                &smarq_vliw::MachineConfig::default(),
+                sys.blacklist(),
+            );
+            println!("\ntranslated hot region:\n{}", o.vliw);
+        }
+    }
+
+    if args.compare {
+        let mut reference = smarq_guest::Interpreter::new();
+        reference.run(&program, args.budget);
+        if args.budget == u64::MAX {
+            if sys.interp().arch_state() == reference.arch_state() {
+                println!("state check:         bit-exact vs pure interpretation");
+            } else {
+                eprintln!("state check:         MISMATCH vs pure interpretation");
+                return ExitCode::from(1);
+            }
+        } else {
+            eprintln!("state check:         skipped (budgeted run)");
+        }
+    }
+    ExitCode::SUCCESS
+}

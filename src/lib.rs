@@ -1,0 +1,21 @@
+//! Meta-crate for the SMARQ (MICRO 2012) reproduction.
+//!
+//! This package exists to host the repository-level `examples/` and
+//! `tests/` directories; the functionality lives in the member crates:
+//!
+//! * [`smarq`] — constraint analysis and alias register allocation (the
+//!   paper's contribution);
+//! * [`smarq_guest`] — guest ISA, interpreter, profiler;
+//! * [`smarq_ir`] — optimizer IR, superblocks, alias analysis;
+//! * [`smarq_opt`] — speculative optimizations, list scheduler, emission;
+//! * [`smarq_vliw`] — VLIW machine model, simulator, alias hardware;
+//! * [`smarq_runtime`] — the dynamic optimization system;
+//! * [`smarq_workloads`] — SPECFP2000 stand-in kernels.
+
+pub use smarq;
+pub use smarq_guest;
+pub use smarq_ir;
+pub use smarq_opt;
+pub use smarq_runtime;
+pub use smarq_vliw;
+pub use smarq_workloads;

@@ -1,0 +1,181 @@
+//! Property-based end-to-end soundness: for *randomly generated* guest
+//! loops — including ones whose pointers truly alias at runtime — the
+//! dynamically optimized execution must produce exactly the architectural
+//! state pure interpretation produces, under every hardware scheme.
+
+use proptest::prelude::*;
+use smarq_guest::{AluOp, BlockId, CmpOp, FReg, FpuOp, Interpreter, Program, ProgramBuilder, Reg};
+use smarq_opt::OptConfig;
+use smarq_runtime::{DynOptSystem, SystemConfig};
+
+/// One random memory/compute op in the loop body.
+#[derive(Clone, Copy, Debug)]
+enum BodyOp {
+    Ld { dst: u8, base: u8, disp: u8 },
+    St { src: u8, base: u8, disp: u8 },
+    FLd { dst: u8, base: u8, disp: u8 },
+    FSt { src: u8, base: u8, disp: u8 },
+    Alu { op: u8, dst: u8, a: u8, b: u8 },
+    Fpu { op: u8, dst: u8, a: u8, b: u8 },
+}
+
+fn body_op() -> impl Strategy<Value = BodyOp> {
+    prop_oneof![
+        (0u8..6, 10u8..16, 0u8..8).prop_map(|(dst, base, disp)| BodyOp::Ld {
+            dst: dst + 16,
+            base,
+            disp
+        }),
+        (0u8..6, 10u8..16, 0u8..8).prop_map(|(src, base, disp)| BodyOp::St {
+            src: src + 16,
+            base,
+            disp
+        }),
+        (0u8..6, 10u8..16, 0u8..8).prop_map(|(dst, base, disp)| BodyOp::FLd {
+            dst: dst + 8,
+            base,
+            disp
+        }),
+        (0u8..6, 10u8..16, 0u8..8).prop_map(|(src, base, disp)| BodyOp::FSt {
+            src: src + 8,
+            base,
+            disp
+        }),
+        (0u8..5, 0u8..6, 0u8..6, 0u8..6).prop_map(|(op, dst, a, b)| BodyOp::Alu {
+            op,
+            dst: dst + 16,
+            a: a + 16,
+            b: b + 16
+        }),
+        (0u8..4, 0u8..6, 0u8..6, 0u8..6).prop_map(|(op, dst, a, b)| BodyOp::Fpu {
+            op,
+            dst: dst + 8,
+            a: a + 8,
+            b: b + 8
+        }),
+    ]
+}
+
+/// A random loop program: pointer registers r10..r15 point into a small
+/// pool of base addresses (collisions = genuine runtime aliasing the
+/// analysis cannot see), plus a random straight-line body.
+#[derive(Clone, Debug)]
+struct RandomLoop {
+    program: Program,
+}
+
+fn random_loop() -> impl Strategy<Value = RandomLoop> {
+    (
+        proptest::collection::vec(body_op(), 4..40),
+        proptest::collection::vec(0u64..4, 6), // pointer -> address pool
+        20i64..120,
+    )
+        .prop_map(|(ops, bases, iters)| {
+            let mut b = ProgramBuilder::new();
+            let entry = b.block();
+            let body = b.block();
+            let done = b.block();
+            b.iconst(entry, Reg(1), 0);
+            b.iconst(entry, Reg(2), iters);
+            for (i, &pool) in bases.iter().enumerate() {
+                // Address pool of 4 slots, 64 bytes apart: some pointers
+                // truly alias, some do not.
+                b.iconst(entry, Reg(10 + i as u8), 0x1000 + pool as i64 * 64);
+            }
+            for (i, fr) in (8u8..16).enumerate() {
+                b.fconst(entry, FReg(fr), 1.0 + i as f64 * 0.5);
+            }
+            for (i, r) in (16u8..22).enumerate() {
+                b.iconst(entry, Reg(r), i as i64 * 3 + 1);
+            }
+            b.jump(entry, body);
+
+            let alu_ops = [AluOp::Add, AluOp::Sub, AluOp::Mul, AluOp::Xor, AluOp::And];
+            let fpu_ops = [FpuOp::Add, FpuOp::Sub, FpuOp::Mul, FpuOp::Max];
+            for op in &ops {
+                match *op {
+                    BodyOp::Ld { dst, base, disp } => {
+                        b.ld(body, Reg(dst), Reg(base), i64::from(disp) * 8)
+                    }
+                    BodyOp::St { src, base, disp } => {
+                        b.st(body, Reg(src), Reg(base), i64::from(disp) * 8)
+                    }
+                    BodyOp::FLd { dst, base, disp } => {
+                        b.fld(body, FReg(dst), Reg(base), i64::from(disp) * 8)
+                    }
+                    BodyOp::FSt { src, base, disp } => {
+                        b.fst(body, FReg(src), Reg(base), i64::from(disp) * 8)
+                    }
+                    BodyOp::Alu { op, dst, a, b: rb } => b.alu(
+                        body,
+                        alu_ops[op as usize % alu_ops.len()],
+                        Reg(dst),
+                        Reg(a),
+                        Reg(rb),
+                    ),
+                    BodyOp::Fpu { op, dst, a, b: rb } => b.fpu(
+                        body,
+                        fpu_ops[op as usize % fpu_ops.len()],
+                        FReg(dst),
+                        FReg(a),
+                        FReg(rb),
+                    ),
+                }
+            }
+            b.alu_imm(body, AluOp::Add, Reg(1), Reg(1), 1);
+            b.branch(body, CmpOp::Lt, Reg(1), Reg(2), body, done);
+            b.halt(done);
+            RandomLoop {
+                program: b.finish(entry),
+            }
+        })
+}
+
+fn check_equivalence(rl: &RandomLoop, opt: OptConfig, label: &str) -> Result<(), TestCaseError> {
+    let mut reference = Interpreter::new();
+    reference.run(&rl.program, u64::MAX);
+    let expected = reference.arch_state();
+
+    let mut config = SystemConfig::with_opt(opt);
+    config.hot_threshold = 5; // translate early: short random loops
+    config.formation.cold_threshold = 2;
+    let mut sys = DynOptSystem::new(rl.program.clone(), config);
+    sys.run_to_completion(u64::MAX);
+    prop_assert_eq!(
+        sys.interp().arch_state(),
+        expected,
+        "{} diverged from interpretation",
+        label
+    );
+    prop_assert!(sys.stats().regions_formed >= 1);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_loops_are_bit_exact_under_smarq(rl in random_loop()) {
+        check_equivalence(&rl, OptConfig::smarq(64), "smarq64")?;
+        check_equivalence(&rl, OptConfig::smarq(8), "smarq8")?;
+    }
+
+    #[test]
+    fn random_loops_are_bit_exact_under_other_hardware(rl in random_loop()) {
+        check_equivalence(&rl, OptConfig::alat(), "alat")?;
+        check_equivalence(&rl, OptConfig::efficeon(), "efficeon")?;
+        check_equivalence(&rl, OptConfig::no_alias_hw(), "none")?;
+        check_equivalence(&rl, OptConfig::smarq_no_store_reorder(64), "no-st-reorder")?;
+    }
+
+    /// The loop body also optimizes correctly as a *cold* program (pure
+    /// interpretation path) — a guard against profile-dependent bugs.
+    #[test]
+    fn random_loops_interpret_deterministically(rl in random_loop()) {
+        let mut a = Interpreter::new();
+        a.run(&rl.program, u64::MAX);
+        let mut b = Interpreter::new();
+        b.run(&rl.program, u64::MAX);
+        prop_assert_eq!(a.arch_state(), b.arch_state());
+    }
+}

@@ -1,0 +1,104 @@
+//! Seeded random-workload sweep: larger bodies than the proptest cases,
+//! run end to end under every hardware scheme with bit-exact state checks.
+
+use smarq_guest::Interpreter;
+use smarq_opt::OptConfig;
+use smarq_runtime::{DynOptSystem, SystemConfig};
+use smarq_workloads::{random_workload_with, RandomParams};
+
+fn check(seed: u64, params: RandomParams) {
+    let w = random_workload_with(seed, params);
+    let mut reference = Interpreter::new();
+    reference.run(&w.program, u64::MAX);
+    let expected = reference.arch_state();
+
+    for (label, opt) in [
+        ("smarq64", OptConfig::smarq(64)),
+        ("smarq8", OptConfig::smarq(8)),
+        ("efficeon", OptConfig::efficeon()),
+        ("alat", OptConfig::alat()),
+        ("none", OptConfig::no_alias_hw()),
+    ] {
+        let mut cfg = SystemConfig::with_opt(opt);
+        cfg.hot_threshold = 10;
+        let mut sys = DynOptSystem::new(w.program.clone(), cfg);
+        sys.run_to_completion(u64::MAX);
+        assert_eq!(
+            sys.interp().arch_state(),
+            expected,
+            "seed {seed} under {label} diverged"
+        );
+    }
+}
+
+#[test]
+fn medium_bodies_across_seeds() {
+    for seed in 0..16 {
+        check(
+            seed,
+            RandomParams {
+                body_ops: 24,
+                iters: 150,
+                address_pool: 4,
+            },
+        );
+    }
+}
+
+#[test]
+fn large_bodies_with_heavy_aliasing() {
+    // A pool of 2 addresses: roughly half of all pointer pairs truly
+    // alias, hammering the rollback/blacklist/re-optimize path.
+    for seed in 100..108 {
+        check(
+            seed,
+            RandomParams {
+                body_ops: 80,
+                iters: 120,
+                address_pool: 2,
+            },
+        );
+    }
+}
+
+#[test]
+fn single_address_pool_worst_case() {
+    // Every pointer is the same address: all speculation faults; the
+    // system must converge to fully conservative code and stay correct.
+    for seed in 200..204 {
+        check(
+            seed,
+            RandomParams {
+                body_ops: 32,
+                iters: 100,
+                address_pool: 1,
+            },
+        );
+    }
+}
+
+#[test]
+fn unrolling_random_workloads_stays_exact() {
+    for seed in 300..306 {
+        let w = random_workload_with(
+            seed,
+            RandomParams {
+                body_ops: 20,
+                iters: 200,
+                address_pool: 3,
+            },
+        );
+        let mut reference = Interpreter::new();
+        reference.run(&w.program, u64::MAX);
+        let mut cfg = SystemConfig::with_opt(OptConfig::smarq(64));
+        cfg.hot_threshold = 10;
+        cfg.unroll_factor = 3;
+        let mut sys = DynOptSystem::new(w.program.clone(), cfg);
+        sys.run_to_completion(u64::MAX);
+        assert_eq!(
+            sys.interp().arch_state(),
+            reference.arch_state(),
+            "seed {seed} diverged with unrolling"
+        );
+    }
+}
