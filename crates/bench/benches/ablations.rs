@@ -3,45 +3,40 @@
 //! without speculative eliminations (the features that require the AMOV
 //! and anti-constraint machinery).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use smarq::baseline::{program_order_allocate, BaselineOptions, BaselineScope};
+use smarq_bench::harness::time_fn;
 use smarq_bench::synth::hoist_region;
 use smarq_guest::Interpreter;
 use smarq_ir::{form_superblock, FormationParams};
 use smarq_opt::{optimize_superblock, AliasBlacklist, OptConfig};
 use smarq_vliw::MachineConfig;
 
-fn bench_rotation(c: &mut Criterion) {
+fn bench_rotation() {
     let (region, deps, schedule) = hoist_region(64);
-    let mut g = c.benchmark_group("ablation_rotation");
     for rotate in [true, false] {
-        g.bench_function(
-            if rotate {
-                "with_rotation"
-            } else {
-                "without_rotation"
-            },
-            |b| {
-                b.iter(|| {
-                    program_order_allocate(
-                        &region,
-                        &deps,
-                        std::hint::black_box(&schedule),
-                        u32::MAX,
-                        BaselineOptions {
-                            scope: BaselineScope::POnly,
-                            rotate,
-                        },
-                    )
-                    .unwrap()
-                })
-            },
-        );
+        let name = if rotate {
+            "ablation_rotation/with_rotation"
+        } else {
+            "ablation_rotation/without_rotation"
+        };
+        let m = time_fn(name, || {
+            program_order_allocate(
+                &region,
+                &deps,
+                std::hint::black_box(&schedule),
+                u32::MAX,
+                BaselineOptions {
+                    scope: BaselineScope::POnly,
+                    rotate,
+                },
+            )
+            .unwrap()
+        });
+        println!("{}", m.line());
     }
-    g.finish();
 }
 
-fn bench_eliminations(c: &mut Criterion) {
+fn bench_eliminations() {
     let w = smarq_workloads::by_name("fma3d").unwrap();
     let mut interp = Interpreter::new();
     interp.run(&w.program, 1_000_000);
@@ -52,26 +47,28 @@ fn bench_eliminations(c: &mut Criterion) {
         FormationParams::default(),
     );
     let machine = MachineConfig::default();
-    let mut g = c.benchmark_group("ablation_eliminations");
     let mut with = OptConfig::smarq(64);
     let mut without = OptConfig::smarq(64);
     with.allow_spec_load_elim = true;
     without.allow_spec_load_elim = false;
     without.allow_spec_store_elim = false;
-    for (name, cfg) in [("with_spec_elims", with), ("without_spec_elims", without)] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                optimize_superblock(
-                    std::hint::black_box(&sb),
-                    &cfg,
-                    &machine,
-                    &AliasBlacklist::new(),
-                )
-            })
+    for (name, cfg) in [
+        ("ablation_eliminations/with_spec_elims", with),
+        ("ablation_eliminations/without_spec_elims", without),
+    ] {
+        let m = time_fn(name, || {
+            optimize_superblock(
+                std::hint::black_box(&sb),
+                &cfg,
+                &machine,
+                &AliasBlacklist::new(),
+            )
         });
+        println!("{}", m.line());
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_rotation, bench_eliminations);
-criterion_main!(benches);
+fn main() {
+    bench_rotation();
+    bench_eliminations();
+}

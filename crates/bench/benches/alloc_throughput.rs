@@ -1,28 +1,24 @@
 //! Allocator throughput: how fast is the Fig. 13 algorithm? (Supports the
 //! paper's Figure 18 claim that allocation time is negligible.)
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use smarq::allocate;
+use smarq_bench::harness::time_fn;
+use smarq_bench::perf::compare_allocator;
 use smarq_bench::synth::hoist_region;
 
-fn bench_alloc(c: &mut Criterion) {
-    let mut g = c.benchmark_group("alloc_throughput");
+fn main() {
     for pairs in [8usize, 32, 128] {
         let (region, deps, schedule) = hoist_region(pairs);
-        g.bench_with_input(BenchmarkId::new("smarq", pairs * 2), &pairs, |b, _| {
-            b.iter(|| {
-                allocate(
-                    std::hint::black_box(&region),
-                    &deps,
-                    std::hint::black_box(&schedule),
-                    u32::MAX,
-                )
-                .unwrap()
-            })
+        let m = time_fn(&format!("smarq/{}", pairs * 2), || {
+            allocate(
+                std::hint::black_box(&region),
+                &deps,
+                std::hint::black_box(&schedule),
+                u32::MAX,
+            )
+            .unwrap()
         });
+        println!("{}", m.line());
     }
-    g.finish();
+    println!("{}", compare_allocator().report());
 }
-
-criterion_group!(benches, bench_alloc);
-criterion_main!(benches);

@@ -1,28 +1,30 @@
-//! Dependence + constraint derivation cost (paper §4 analyses).
+//! Dependence + constraint derivation cost (paper §4 analyses), including
+//! the naive-vs-bit-matrix dependence comparison.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use smarq::{ConstraintGraph, DepGraph};
+use smarq_bench::harness::time_fn;
+use smarq_bench::perf::compare_constraint_analysis;
 use smarq_bench::synth::{elim_region, hoist_region};
 
-fn bench_constraints(c: &mut Criterion) {
-    let mut g = c.benchmark_group("constraint_analysis");
+fn main() {
     for pairs in [16usize, 64] {
         let (region, _, schedule) = hoist_region(pairs);
-        g.bench_with_input(BenchmarkId::new("deps", pairs * 2), &pairs, |b, _| {
-            b.iter(|| DepGraph::compute(std::hint::black_box(&region)))
+        let m = time_fn(&format!("deps/{}", pairs * 2), || {
+            DepGraph::compute(std::hint::black_box(&region))
         });
+        println!("{}", m.line());
         let deps = DepGraph::compute(&region);
-        g.bench_with_input(BenchmarkId::new("derive", pairs * 2), &pairs, |b, _| {
-            b.iter(|| ConstraintGraph::derive(&region, &deps, std::hint::black_box(&schedule)))
+        let m = time_fn(&format!("derive/{}", pairs * 2), || {
+            ConstraintGraph::derive(&region, &deps, std::hint::black_box(&schedule))
         });
+        println!("{}", m.line());
     }
     let (region, _, schedule) = elim_region(16);
     let deps = DepGraph::compute(&region);
-    g.bench_function("derive_with_eliminations", |b| {
-        b.iter(|| ConstraintGraph::derive(&region, &deps, std::hint::black_box(&schedule)))
+    let m = time_fn("derive_with_eliminations", || {
+        ConstraintGraph::derive(&region, &deps, std::hint::black_box(&schedule))
     });
-    g.finish();
-}
+    println!("{}", m.line());
 
-criterion_group!(benches, bench_constraints);
-criterion_main!(benches);
+    println!("{}", compare_constraint_analysis().report());
+}

@@ -1,20 +1,15 @@
 //! End-to-end harness timing: a full dynamic-optimization run (a compact
 //! slice of the Figure 15 evaluation).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smarq_bench::harness::time_fn_cfg;
 use smarq_bench::{run_workload, EvalConfig};
 
-fn bench_endtoend(c: &mut Criterion) {
-    let mut g = c.benchmark_group("endtoend");
-    g.sample_size(10);
+fn main() {
     for cfg in [EvalConfig::Baseline, EvalConfig::Smarq64] {
         let w = smarq_workloads::scaled("swim", 2_000).unwrap();
-        g.bench_with_input(BenchmarkId::new("swim", cfg.name()), &cfg, |b, &cfg| {
-            b.iter(|| run_workload(std::hint::black_box(&w), cfg))
+        let m = time_fn_cfg(&format!("endtoend/swim/{}", cfg.name()), 50, 3, || {
+            run_workload(std::hint::black_box(&w), cfg)
         });
+        println!("{}", m.line());
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_endtoend);
-criterion_main!(benches);

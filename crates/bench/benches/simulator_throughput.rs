@@ -1,34 +1,11 @@
-//! Cycle-level simulator throughput on a real translated region.
+//! Cycle-level simulator throughput on a real translated region, plus the
+//! queue-check microbench (dense vs sparse occupancy) behind the
+//! simulator's memory-access path.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use smarq_guest::{Interpreter, Memory};
-use smarq_ir::{form_superblock, FormationParams};
-use smarq_opt::{optimize_superblock, AliasBlacklist, OptConfig};
-use smarq_vliw::{AnyAliasHw, HwKind, MachineConfig, Simulator, VliwState};
+use smarq_bench::perf::{compare_mem_access_dense, compare_mem_access_sparse};
 
-fn bench_sim(c: &mut Criterion) {
-    let w = smarq_workloads::by_name("ammp").unwrap();
-    let mut interp = Interpreter::new();
-    interp.run(&w.program, 1_000_000);
-    let sb = form_superblock(
-        &w.program,
-        interp.profile(),
-        smarq_guest::BlockId(1),
-        FormationParams::default(),
-    );
-    let machine = MachineConfig::default();
-    let opt = optimize_superblock(&sb, &OptConfig::smarq(64), &machine, &AliasBlacklist::new());
-    let mut sim = Simulator::new(machine, AnyAliasHw::for_kind(HwKind::Smarq, 64));
-
-    c.bench_function("simulate_ammp_region", |b| {
-        let mut state = VliwState::new();
-        let mut mem = Memory::new();
-        b.iter(|| {
-            sim.run_region(std::hint::black_box(&opt.vliw), &mut state, &mut mem)
-                .unwrap()
-        })
-    });
+fn main() {
+    println!("{}", smarq_bench::perf::measure_simulator_region().line());
+    println!("{}", compare_mem_access_dense().report());
+    println!("{}", compare_mem_access_sparse().report());
 }
-
-criterion_group!(benches, bench_sim);
-criterion_main!(benches);

@@ -1,37 +1,33 @@
 //! Working-set computation cost: SMARQ vs the program-order baselines and
 //! the live-range lower bound (paper Figure 17 inputs).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use smarq::baseline::{program_order_allocate, BaselineOptions, BaselineScope};
 use smarq::{allocate, live_range_lower_bound};
+use smarq_bench::harness::time_fn;
 use smarq_bench::synth::hoist_region;
 
-fn bench_working_set(c: &mut Criterion) {
+fn main() {
     let (region, deps, schedule) = hoist_region(64);
-    let mut g = c.benchmark_group("working_set");
-    g.bench_function("smarq", |b| {
-        b.iter(|| allocate(&region, &deps, std::hint::black_box(&schedule), u32::MAX).unwrap())
+    let m = time_fn("working_set/smarq", || {
+        allocate(&region, &deps, std::hint::black_box(&schedule), u32::MAX).unwrap()
     });
-    g.bench_function("program_order_p_only", |b| {
-        b.iter(|| {
-            program_order_allocate(
-                &region,
-                &deps,
-                std::hint::black_box(&schedule),
-                u32::MAX,
-                BaselineOptions {
-                    scope: BaselineScope::POnly,
-                    rotate: true,
-                },
-            )
-            .unwrap()
-        })
+    println!("{}", m.line());
+    let m = time_fn("working_set/program_order_p_only", || {
+        program_order_allocate(
+            &region,
+            &deps,
+            std::hint::black_box(&schedule),
+            u32::MAX,
+            BaselineOptions {
+                scope: BaselineScope::POnly,
+                rotate: true,
+            },
+        )
+        .unwrap()
     });
-    g.bench_function("lower_bound", |b| {
-        b.iter(|| live_range_lower_bound(&region, &deps, std::hint::black_box(&schedule)))
+    println!("{}", m.line());
+    let m = time_fn("working_set/lower_bound", || {
+        live_range_lower_bound(&region, &deps, std::hint::black_box(&schedule))
     });
-    g.finish();
+    println!("{}", m.line());
 }
-
-criterion_group!(benches, bench_working_set);
-criterion_main!(benches);

@@ -2,11 +2,57 @@
 //!
 //! Usage: `figures [table1|table2|table3|fig14|fig15|fig16|fig17|fig18|fig19|ablations|all]`
 //! (default: `all`).
+//!
+//! `figures bench-json [OUT.json]` instead runs the before/after perf
+//! comparisons (see `smarq_bench::perf`) plus the serial-vs-parallel
+//! evaluation sweep and writes the JSON baseline (default
+//! `BENCH_PR1.json`). The convention: a PR claiming performance work
+//! commits the file this prints, named `BENCH_PR<n>.json`.
 
-use smarq_bench::{figures, tables, Evaluation};
+use smarq_bench::{figures, perf, tables, Evaluation};
+
+fn bench_json(out_path: &str) {
+    eprintln!("running before/after comparisons ...");
+    let comparisons = vec![
+        perf::compare_constraint_analysis(),
+        perf::compare_allocator(),
+        perf::compare_mem_access_dense(),
+        perf::compare_mem_access_sparse(),
+    ];
+    for c in &comparisons {
+        eprintln!("{}", c.report());
+    }
+    eprintln!("measuring absolute simulator throughput ...");
+    let absolutes = vec![perf::measure_simulator_region()];
+    for m in &absolutes {
+        eprintln!("{}", m.line());
+    }
+    eprintln!("timing the evaluation sweep (serial, then parallel) ...");
+    let sweep = perf::time_eval_sweep();
+    eprintln!(
+        "sweep: serial {:.2}s, parallel {:.2}s on {} threads ({:.2}x)",
+        sweep.serial_s,
+        sweep.parallel_s,
+        sweep.threads,
+        sweep.speedup()
+    );
+    let json = perf::to_json(&comparisons, &absolutes, Some(&sweep));
+    if let Err(e) = std::fs::write(out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+}
 
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    if arg == "bench-json" {
+        let out = std::env::args()
+            .nth(2)
+            .unwrap_or_else(|| "BENCH_PR1.json".into());
+        bench_json(&out);
+        return;
+    }
     let needs_eval = !matches!(arg.as_str(), "table1" | "table2" | "table3" | "sensitivity");
     let ev = if needs_eval {
         eprintln!("running 14 benchmarks x 5 configurations ...");
@@ -47,6 +93,7 @@ fn main() {
     if !printed {
         eprintln!("unknown section '{arg}'");
         eprintln!("sections: table1 table2 table3 fig14..fig19 ablations sensitivity all");
+        eprintln!("perf baseline: bench-json [OUT.json]");
         std::process::exit(2);
     }
 }

@@ -1,0 +1,139 @@
+//! Minimal `Instant`-based micro-benchmark harness.
+//!
+//! The evaluation container is offline, so the usual external benchmark
+//! frameworks are unavailable; this module provides the small subset we
+//! need: adaptive iteration calibration, best-of-N sampling, and a
+//! one-line report per benchmark. Every `benches/*.rs` target and the
+//! `figures -- bench-json` mode run on top of it.
+
+use std::time::Instant;
+
+/// One measured benchmark.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Benchmark name.
+    pub name: String,
+    /// Best-sample cost of one iteration, in nanoseconds.
+    pub ns_per_iter: f64,
+    /// Iterations per timed sample (chosen by calibration).
+    pub iters_per_sample: u64,
+    /// Number of timed samples taken.
+    pub samples: u32,
+}
+
+impl Measurement {
+    /// One aligned report line (`name .... 123.4 ns/iter`).
+    pub fn line(&self) -> String {
+        format!(
+            "{:<44} {:>14.1} ns/iter   ({} iters x {} samples)",
+            self.name, self.ns_per_iter, self.iters_per_sample, self.samples
+        )
+    }
+}
+
+fn run_batch<T>(iters: u64, f: &mut impl FnMut() -> T) -> std::time::Duration {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    t0.elapsed()
+}
+
+/// Times `f` and reports the *minimum* per-iteration cost over `samples`
+/// batches, each sized by doubling until a batch runs at least
+/// `min_sample_ms` milliseconds (the doubling batches double as warmup).
+pub fn time_fn_cfg<T>(
+    name: &str,
+    min_sample_ms: u64,
+    samples: u32,
+    mut f: impl FnMut() -> T,
+) -> Measurement {
+    let mut iters = 1u64;
+    loop {
+        let d = run_batch(iters, &mut f);
+        if d.as_millis() as u64 >= min_sample_ms || iters >= (1 << 22) {
+            break;
+        }
+        iters *= 2;
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let d = run_batch(iters, &mut f);
+        best = best.min(d.as_nanos() as f64 / iters as f64);
+    }
+    Measurement {
+        name: name.to_string(),
+        ns_per_iter: best,
+        iters_per_sample: iters,
+        samples,
+    }
+}
+
+/// [`time_fn_cfg`] with the default budget (10 ms samples, best of 5).
+pub fn time_fn<T>(name: &str, f: impl FnMut() -> T) -> Measurement {
+    time_fn_cfg(name, 10, 5, f)
+}
+
+/// A before/after pair measured in the same process, for tracking the
+/// speedup of a fast path over the retained reference implementation.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// Metric name (stable across PRs — used as the JSON key).
+    pub name: String,
+    /// Reference ("before") implementation.
+    pub before: Measurement,
+    /// Fast-path ("after") implementation.
+    pub after: Measurement,
+}
+
+impl Comparison {
+    /// Speedup of the fast path over the reference.
+    pub fn speedup(&self) -> f64 {
+        self.before.ns_per_iter / self.after.ns_per_iter
+    }
+
+    /// Two report lines plus the speedup.
+    pub fn report(&self) -> String {
+        format!(
+            "{}\n{}\n{:<44} {:>14.2}x\n",
+            self.before.line(),
+            self.after.line(),
+            format!("  -> speedup {}", self.name),
+            self.speedup()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_fn_measures_something_positive() {
+        let m = time_fn_cfg("spin", 1, 2, || {
+            let mut s = 0u64;
+            for i in 0..100u64 {
+                s = s.wrapping_add(i * i);
+            }
+            s
+        });
+        assert!(m.ns_per_iter > 0.0);
+        assert!(m.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn comparison_speedup_is_ratio() {
+        let mk = |ns: f64| Measurement {
+            name: "x".into(),
+            ns_per_iter: ns,
+            iters_per_sample: 1,
+            samples: 1,
+        };
+        let c = Comparison {
+            name: "r".into(),
+            before: mk(100.0),
+            after: mk(25.0),
+        };
+        assert!((c.speedup() - 4.0).abs() < 1e-12);
+    }
+}

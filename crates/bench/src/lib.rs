@@ -2,9 +2,11 @@
 //!
 //! Drives every workload through the dynamic optimization system under the
 //! paper's hardware configurations and regenerates each table and figure
-//! of the evaluation (paper §6). The `figures` binary prints them; the
-//! Criterion benches measure the implementation itself (allocator and
-//! simulator throughput).
+//! of the evaluation (paper §6). The `figures` binary prints them (and,
+//! with `bench-json`, writes the tracked perf baseline); the bench targets
+//! under `benches/` measure the implementation itself (allocator,
+//! constraint analysis and simulator throughput) on the in-repo
+//! [`harness`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -14,6 +16,8 @@ use smarq_runtime::{DynOptSystem, SystemConfig, SystemStats};
 use smarq_workloads::Workload;
 
 pub mod figures;
+pub mod harness;
+pub mod perf;
 pub mod synth;
 pub mod tables;
 
@@ -107,16 +111,49 @@ pub struct Evaluation {
 }
 
 impl Evaluation {
-    /// Runs the whole evaluation (14 benchmarks × 5 configurations).
+    /// Runs the whole evaluation (14 benchmarks × 5 configurations),
+    /// fanning the cells out across the machine's available parallelism.
+    /// Every (workload, configuration) cell is an independent simulation,
+    /// so the result is identical to a serial sweep.
     pub fn run() -> Self {
-        let rows = smarq_workloads::all()
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self::run_parallel(threads)
+    }
+
+    /// Like [`Evaluation::run`] with an explicit worker-thread count
+    /// (`1` gives the serial sweep).
+    pub fn run_parallel(threads: usize) -> Self {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+
+        let workloads = smarq_workloads::all();
+        let n_cfg = EvalConfig::ALL.len();
+        let total = workloads.len() * n_cfg;
+        // Work-stealing over a flat cell index: long-running workloads do
+        // not serialize behind each other the way a per-row split would.
+        let next = AtomicUsize::new(0);
+        let cells: Vec<Mutex<Option<SystemStats>>> = (0..total).map(|_| Mutex::new(None)).collect();
+        let workers = threads.clamp(1, total.max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let stats = run_workload(&workloads[i / n_cfg], EvalConfig::ALL[i % n_cfg]);
+                    *cells[i].lock().expect("no panics while holding lock") = Some(stats);
+                });
+            }
+        });
+        let mut it = cells
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().expect("every cell computed"));
+        let rows = workloads
             .iter()
             .map(|w| BenchmarkRow {
                 name: w.name,
-                stats: EvalConfig::ALL
-                    .iter()
-                    .map(|&c| run_workload(w, c))
-                    .collect(),
+                stats: (0..n_cfg).map(|_| it.next().unwrap()).collect(),
             })
             .collect();
         Evaluation { rows }

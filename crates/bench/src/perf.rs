@@ -1,0 +1,274 @@
+//! Before/after performance comparisons for the tracked perf trajectory.
+//!
+//! Each comparison times the *retained reference implementation* and the
+//! fast path it replaced **in the same process run**, so the reported
+//! speedups are apples-to-apples on the machine that produced them. The
+//! `figures -- bench-json` mode serializes the results to a `BENCH_PR<n>.json`
+//! file at the repository root; each PR that claims a performance win
+//! commits one so the trajectory is reviewable.
+
+use crate::harness::{time_fn, Comparison, Measurement};
+use crate::synth::hoist_region;
+use crate::Evaluation;
+use smarq::queue::AliasQueue;
+use smarq::{allocate, AllocScratch, Allocator, DepGraph};
+use smarq_guest::{BlockId, Interpreter, Memory};
+use smarq_ir::{form_superblock, FormationParams};
+use smarq_opt::{optimize_superblock, AliasBlacklist, OptConfig};
+use smarq_vliw::{AnyAliasHw, HwKind, MachineConfig, Simulator, VliwState};
+use std::time::Instant;
+
+/// Dependence + constraint analysis: the all-pairs reference
+/// ([`DepGraph::compute_naive`]) vs the sealed-region bit-matrix path
+/// ([`DepGraph::compute`]).
+pub fn compare_constraint_analysis() -> Comparison {
+    let (region, _, _) = hoist_region(256);
+    let before = time_fn("constraint_analysis/naive_all_pairs", || {
+        DepGraph::compute_naive(&region)
+    });
+    let after = time_fn("constraint_analysis/sealed_bit_matrix", || {
+        DepGraph::compute(&region)
+    });
+    Comparison {
+        name: "constraint_analysis".into(),
+        before,
+        after,
+    }
+}
+
+/// Allocator over a fixed schedule: a fresh [`Allocator`] per region vs
+/// recycling one [`AllocScratch`] across regions (the runtime's usage).
+pub fn compare_allocator() -> Comparison {
+    let (region, deps, schedule) = hoist_region(64);
+    let before = time_fn("allocator/fresh_buffers", || {
+        allocate(&region, &deps, &schedule, u32::MAX)
+            .unwrap()
+            .working_set()
+    });
+    let mut scratch = Some(AllocScratch::new());
+    let after = time_fn("allocator/scratch_reuse", move || {
+        let mut a = Allocator::with_scratch(&region, &deps, u32::MAX, scratch.take().unwrap());
+        for &op in &schedule {
+            a.schedule_op(op).unwrap();
+        }
+        let (alloc, s) = a.finish_reclaim().unwrap();
+        scratch = Some(s);
+        alloc.working_set()
+    });
+    Comparison {
+        name: "allocator".into(),
+        before,
+        after,
+    }
+}
+
+/// A 64-register queue with most slots occupied — the steady state of a
+/// region whose hoisted loads have not rotated out yet.
+fn dense_queue() -> AliasQueue<(u64, u64)> {
+    let mut q = AliasQueue::new(64);
+    for off in 0..56u32 {
+        let lo = off as u64 * 16;
+        q.set(off, (lo, lo + 8), off % 3 == 0).unwrap();
+    }
+    q
+}
+
+/// A 512-register file with only a handful of live entries — the common
+/// case right after a rotation drained the window.
+fn sparse_queue() -> AliasQueue<(u64, u64)> {
+    let mut q = AliasQueue::new(512);
+    for off in [13u32, 200, 400, 490] {
+        let lo = off as u64 * 16;
+        q.set(off, (lo, lo + 8), false).unwrap();
+    }
+    q
+}
+
+/// The simulator's C-bit path on a dense queue where the access conflicts
+/// with every live entry: the old path collected **all** hits into a `Vec`
+/// and took the first; [`AliasQueue::check_first`] short-circuits.
+pub fn compare_mem_access_dense() -> Comparison {
+    let q = dense_queue();
+    // A probe range overlapping every entry, black-boxed so the overlap
+    // test cannot be constant-folded away.
+    let probe = (0u64, u64::MAX);
+    let before = time_fn("sim_mem_access/dense_full_scan", || {
+        let p = std::hint::black_box(probe);
+        q.check(0, false, |&(lo, hi)| lo < p.1 && p.0 < hi)
+            .unwrap()
+            .first()
+            .copied()
+    });
+    let q = dense_queue();
+    let after = time_fn("sim_mem_access/dense_first_hit", || {
+        let p = std::hint::black_box(probe);
+        q.check_first(0, false, |&(lo, hi)| lo < p.1 && p.0 < hi)
+            .unwrap()
+    });
+    Comparison {
+        name: "sim_mem_access_dense".into(),
+        before,
+        after,
+    }
+}
+
+/// The same path on a sparse queue with no conflict: the old path
+/// inspected every slot; the bitmask scan visits only occupied words.
+pub fn compare_mem_access_sparse() -> Comparison {
+    let q = sparse_queue();
+    // A probe range beyond every entry (no hit), black-boxed so the scan
+    // cannot be folded away.
+    let probe = (u64::MAX - 16, u64::MAX - 8);
+    let before = time_fn("sim_mem_access/sparse_full_scan", || {
+        let p = std::hint::black_box(probe);
+        q.check(0, false, |&(lo, hi)| lo < p.1 && p.0 < hi)
+            .unwrap()
+            .first()
+            .copied()
+    });
+    let q = sparse_queue();
+    let after = time_fn("sim_mem_access/sparse_first_hit", || {
+        let p = std::hint::black_box(probe);
+        q.check_first(0, false, |&(lo, hi)| lo < p.1 && p.0 < hi)
+            .unwrap()
+    });
+    Comparison {
+        name: "sim_mem_access_sparse".into(),
+        before,
+        after,
+    }
+}
+
+/// Absolute cycle-level simulator throughput on a real translated region
+/// (no before/after — an absolute trajectory point).
+pub fn measure_simulator_region() -> Measurement {
+    let w = smarq_workloads::by_name("ammp").unwrap();
+    let mut interp = Interpreter::new();
+    interp.run(&w.program, 1_000_000);
+    let sb = form_superblock(
+        &w.program,
+        interp.profile(),
+        BlockId(1),
+        FormationParams::default(),
+    );
+    let machine = MachineConfig::default();
+    let opt = optimize_superblock(&sb, &OptConfig::smarq(64), &machine, &AliasBlacklist::new());
+    let mut sim = Simulator::new(machine, AnyAliasHw::for_kind(HwKind::Smarq, 64));
+    let mut state = VliwState::new();
+    let mut mem = Memory::new();
+    time_fn("simulator/ammp_region", move || {
+        sim.run_region(&opt.vliw, &mut state, &mut mem).unwrap()
+    })
+}
+
+/// Wall-clock of the full 14x5 evaluation sweep, serial vs the scoped
+/// thread fan-out (single shot each — the sweep is seconds, not micros).
+pub struct SweepTiming {
+    /// Serial sweep wall-clock, seconds.
+    pub serial_s: f64,
+    /// Parallel sweep wall-clock, seconds.
+    pub parallel_s: f64,
+    /// Worker threads used for the parallel sweep.
+    pub threads: usize,
+}
+
+impl SweepTiming {
+    /// Parallel speedup over the serial sweep.
+    pub fn speedup(&self) -> f64 {
+        self.serial_s / self.parallel_s
+    }
+}
+
+/// Times [`Evaluation::run_parallel`] at 1 thread and at the machine's
+/// available parallelism.
+pub fn time_eval_sweep() -> SweepTiming {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let t0 = Instant::now();
+    let serial = Evaluation::run_parallel(1);
+    let serial_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let parallel = Evaluation::run_parallel(threads);
+    let parallel_s = t1.elapsed().as_secs_f64();
+    assert_eq!(
+        serial.rows.len(),
+        parallel.rows.len(),
+        "sweeps cover the same benchmarks"
+    );
+    SweepTiming {
+        serial_s,
+        parallel_s,
+        threads,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Serializes the comparisons, absolute points and sweep timing as a
+/// small hand-written JSON document (the container has no serde).
+pub fn to_json(
+    comparisons: &[Comparison],
+    absolutes: &[Measurement],
+    sweep: Option<&SweepTiming>,
+) -> String {
+    let mut out = String::from("{\n  \"schema\": \"smarq-bench/1\",\n  \"comparisons\": [\n");
+    for (i, c) in comparisons.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"before_ns_per_iter\": {:.1}, \"after_ns_per_iter\": {:.1}, \"speedup\": {:.2}}}{}\n",
+            json_escape(&c.name),
+            c.before.ns_per_iter,
+            c.after.ns_per_iter,
+            c.speedup(),
+            if i + 1 < comparisons.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"absolute\": [\n");
+    for (i, m) in absolutes.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ns_per_iter\": {:.1}}}{}\n",
+            json_escape(&m.name),
+            m.ns_per_iter,
+            if i + 1 < absolutes.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]");
+    if let Some(s) = sweep {
+        out.push_str(&format!(
+            ",\n  \"eval_sweep\": {{\"serial_s\": {:.3}, \"parallel_s\": {:.3}, \"threads\": {}, \"speedup\": {:.2}}}",
+            s.serial_s,
+            s.parallel_s,
+            s.threads,
+            s.speedup()
+        ));
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_plausible() {
+        let m = Measurement {
+            name: "abs".into(),
+            ns_per_iter: 12.5,
+            iters_per_sample: 10,
+            samples: 3,
+        };
+        let c = Comparison {
+            name: "cmp".into(),
+            before: m.clone(),
+            after: Measurement {
+                ns_per_iter: 5.0,
+                ..m.clone()
+            },
+        };
+        let j = to_json(&[c], &[m], None);
+        assert!(j.contains("\"speedup\": 2.50"));
+        assert!(j.contains("\"ns_per_iter\": 12.5"));
+        assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
+    }
+}

@@ -1,4 +1,4 @@
-//! Synthetic regions and schedules for the Criterion benches.
+//! Synthetic regions and schedules for the micro-benchmarks.
 
 use smarq::{DepGraph, MemKind, MemOpId, RegionSpec};
 

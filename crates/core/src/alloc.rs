@@ -227,6 +227,100 @@ struct AmovRec {
     base: u64,
 }
 
+/// Reusable scratch buffers for the [`Allocator`].
+///
+/// A dynamic optimizer translates thousands of regions back to back; the
+/// allocator's working vectors (per-node flag arrays, the constraint edge
+/// lists, the event stream) can be recycled between regions instead of
+/// being reallocated each time. Create one scratch per translation thread,
+/// pass it to [`Allocator::with_scratch`], and get it back from
+/// [`Allocator::finish_reclaim`]:
+///
+/// ```
+/// use smarq::{AllocScratch, Allocator, DepGraph, MemKind, RegionSpec};
+/// let mut scratch = AllocScratch::new();
+/// for _ in 0..3 {
+///     let mut r = RegionSpec::new();
+///     let st = r.push(MemKind::Store, 0);
+///     let ld = r.push(MemKind::Load, 0);
+///     let deps = DepGraph::compute(&r);
+///     let mut a = Allocator::with_scratch(&r, &deps, 64, scratch);
+///     a.schedule_op(ld)?;
+///     a.schedule_op(st)?;
+///     let (alloc, s) = a.finish_reclaim()?;
+///     scratch = s;
+///     assert_eq!(alloc.working_set(), 1);
+/// }
+/// # Ok::<(), smarq::AllocError>(())
+/// ```
+///
+/// The buffers are an implementation detail: a scratch carries no state
+/// between runs other than capacity, so allocations produced with a reused
+/// scratch are bit-identical to fresh ones.
+#[derive(Clone, Debug, Default)]
+pub struct AllocScratch {
+    t: Vec<i64>,
+    scheduled: Vec<bool>,
+    p: Vec<bool>,
+    c: Vec<bool>,
+    base: Vec<Option<u64>>,
+    order: Vec<Option<u64>>,
+    offset: Vec<Option<u32>>,
+    out_edges: Vec<Vec<Edge>>,
+    in_deg: Vec<u32>,
+    pending: Vec<bool>,
+    ready: VecDeque<usize>,
+    holder: Vec<usize>,
+    nodes: Vec<NodeKind>,
+    events: Vec<Event>,
+    rotations: Vec<(usize, u32)>,
+    amovs: Vec<AmovRec>,
+    checks_log: Vec<(usize, usize)>,
+    ext_p_candidate: Vec<bool>,
+}
+
+fn reset_fill<T: Clone>(v: &mut Vec<T>, n: usize, val: T) {
+    v.clear();
+    v.resize(n, val);
+}
+
+impl AllocScratch {
+    /// Creates an empty scratch (no capacity reserved yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears every buffer and sizes the per-node arrays for an `n`-op
+    /// region, retaining capacity from previous runs.
+    fn reset(&mut self, n: usize) {
+        self.t.clear();
+        self.t.extend(0..n as i64);
+        reset_fill(&mut self.scheduled, n, false);
+        reset_fill(&mut self.p, n, false);
+        reset_fill(&mut self.c, n, false);
+        reset_fill(&mut self.base, n, None);
+        reset_fill(&mut self.order, n, None);
+        reset_fill(&mut self.offset, n, None);
+        for v in &mut self.out_edges {
+            v.clear();
+        }
+        self.out_edges.resize_with(n, Vec::new);
+        reset_fill(&mut self.in_deg, n, 0);
+        reset_fill(&mut self.pending, n, false);
+        self.ready.clear();
+        self.holder.clear();
+        self.holder.extend(0..n);
+        self.nodes.clear();
+        self.nodes
+            .extend((0..n).map(|i| NodeKind::Op(MemOpId::new(i))));
+        self.events.clear();
+        self.rotations.clear();
+        self.amovs.clear();
+        self.checks_log.clear();
+        reset_fill(&mut self.ext_p_candidate, n, false);
+    }
+}
+
 /// The incremental SMARQ allocator. See the [module docs](self).
 #[derive(Clone, Debug)]
 pub struct Allocator<'a> {
@@ -272,17 +366,28 @@ impl<'a> Allocator<'a> {
     /// Creates an allocator for a region with `num_regs` hardware alias
     /// registers.
     pub fn new(region: &'a RegionSpec, deps: &'a DepGraph, num_regs: u32) -> Self {
+        Self::with_scratch(region, deps, num_regs, AllocScratch::new())
+    }
+
+    /// Like [`Allocator::new`], but recycles the buffers of `scratch`
+    /// (reclaim them afterwards with [`Allocator::finish_reclaim`]).
+    pub fn with_scratch(
+        region: &'a RegionSpec,
+        deps: &'a DepGraph,
+        num_regs: u32,
+        mut scratch: AllocScratch,
+    ) -> Self {
         let n = region.len();
-        let nodes: Vec<NodeKind> = (0..n).map(|i| NodeKind::Op(MemOpId::new(i))).collect();
+        scratch.reset(n);
         // EXTENDED deps run backward (src originally after dst); their dst
         // will carry a P bit even in a program-order schedule.
-        let mut ext_p_candidate = vec![false; n];
         for d in deps.iter() {
             if d.src > d.dst {
-                ext_p_candidate[d.dst.index()] = true;
+                scratch.ext_p_candidate[d.dst.index()] = true;
             }
         }
-        let unscheduled_ext_p = ext_p_candidate
+        let unscheduled_ext_p = scratch
+            .ext_p_candidate
             .iter()
             .enumerate()
             .filter(|&(i, &f)| f && !region.is_eliminated(MemOpId::new(i)))
@@ -291,26 +396,26 @@ impl<'a> Allocator<'a> {
             region,
             deps,
             num_regs,
-            t: (0..n as i64).collect(),
-            scheduled: vec![false; n],
-            p: vec![false; n],
-            c: vec![false; n],
-            base: vec![None; n],
-            order: vec![None; n],
-            offset: vec![None; n],
-            out_edges: vec![Vec::new(); n],
-            in_deg: vec![0; n],
-            pending: vec![false; n],
-            ready: VecDeque::new(),
-            holder: (0..n).collect(),
-            nodes,
+            t: scratch.t,
+            scheduled: scratch.scheduled,
+            p: scratch.p,
+            c: scratch.c,
+            base: scratch.base,
+            order: scratch.order,
+            offset: scratch.offset,
+            out_edges: scratch.out_edges,
+            in_deg: scratch.in_deg,
+            pending: scratch.pending,
+            ready: scratch.ready,
+            holder: scratch.holder,
+            nodes: scratch.nodes,
             next_order: 0,
-            events: Vec::new(),
-            rotations: Vec::new(),
-            amovs: Vec::new(),
-            checks_log: Vec::new(),
+            events: scratch.events,
+            rotations: scratch.rotations,
+            amovs: scratch.amovs,
+            checks_log: scratch.checks_log,
             stats: AllocStats::default(),
-            ext_p_candidate,
+            ext_p_candidate: scratch.ext_p_candidate,
             unscheduled_ext_p,
             scheduled_count: 0,
         }
@@ -560,13 +665,16 @@ impl<'a> Allocator<'a> {
                 self.next_order += 1;
             }
             self.pending[xn] = false;
-            let edges = std::mem::take(&mut self.out_edges[xn]);
-            for e in &edges {
+            // Index loop (edges are Copy) instead of mem::take so the edge
+            // list keeps its capacity for scratch reuse.
+            for k in 0..self.out_edges[xn].len() {
+                let e = self.out_edges[xn][k];
                 self.in_deg[e.dst] -= 1;
                 if self.in_deg[e.dst] == 0 && self.pending[e.dst] {
                     self.ready.push_back(e.dst);
                 }
             }
+            self.out_edges[xn].clear();
         }
         if self.next_order > before {
             let amount = (self.next_order - before) as u32;
@@ -611,7 +719,16 @@ impl<'a> Allocator<'a> {
     /// * [`AllocError::UnresolvedConstraints`] on an unbroken constraint
     ///   cycle (a bug if it ever fires — AMOVs break all cycles).
     /// * [`AllocError::Overflow`] if a final offset exceeds the file.
-    pub fn finish(mut self) -> Result<Allocation, AllocError> {
+    pub fn finish(self) -> Result<Allocation, AllocError> {
+        self.finish_reclaim().map(|(alloc, _)| alloc)
+    }
+
+    /// Like [`Allocator::finish`], but also hands back the scratch buffers
+    /// so the next region's allocator can recycle their capacity.
+    ///
+    /// # Errors
+    /// Same as [`Allocator::finish`] (the scratch is dropped on error).
+    pub fn finish_reclaim(mut self) -> Result<(Allocation, AllocScratch), AllocError> {
         for (id, _) in self.region.iter() {
             if !self.region.is_eliminated(id) && !self.scheduled[id.index()] {
                 return Err(AllocError::BadSchedule {
@@ -645,13 +762,14 @@ impl<'a> Allocator<'a> {
                 self.next_order += 1;
             }
             self.pending[xn] = false;
-            let edges = std::mem::take(&mut self.out_edges[xn]);
-            for e in &edges {
+            for k in 0..self.out_edges[xn].len() {
+                let e = self.out_edges[xn][k];
                 self.in_deg[e.dst] -= 1;
                 if self.in_deg[e.dst] == 0 && self.pending[e.dst] {
                     self.ready.push_back(e.dst);
                 }
             }
+            self.out_edges[xn].clear();
         }
         if let Some(stuck) = (0..self.nodes.len()).find(|&i| self.pending[i]) {
             let op = match self.nodes[stuck] {
@@ -664,16 +782,16 @@ impl<'a> Allocator<'a> {
         self.build_allocation()
     }
 
-    fn build_allocation(self) -> Result<Allocation, AllocError> {
+    fn build_allocation(self) -> Result<(Allocation, AllocScratch), AllocError> {
         let mut per_op = vec![None; self.region.len()];
         let mut working_set = 0u32;
         let mut stats = self.stats;
-        for i in 0..self.region.len() {
+        for (i, slot) in per_op.iter_mut().enumerate() {
             if let (Some(order), Some(base), Some(offset)) =
                 (self.order[i], self.base[i], self.offset[i])
             {
                 debug_assert_eq!(order, base + offset as u64, "order = base + offset");
-                per_op[i] = Some(OpAlias {
+                *slot = Some(OpAlias {
                     p_bit: self.p[i],
                     c_bit: self.c[i],
                     order: Order(order),
@@ -729,8 +847,8 @@ impl<'a> Allocator<'a> {
                     let oa = per_op[id.index()];
                     code.push(AliasCode::Op {
                         id,
-                        p_bit: oa.map_or(false, |a| a.p_bit),
-                        c_bit: oa.map_or(false, |a| a.c_bit),
+                        p_bit: oa.is_some_and(|a| a.p_bit),
+                        c_bit: oa.is_some_and(|a| a.c_bit),
                         offset: oa.map(|a| a.offset),
                     });
                 }
@@ -764,13 +882,36 @@ impl<'a> Allocator<'a> {
             })
             .collect();
 
-        Ok(Allocation {
+        let allocation = Allocation {
             per_op,
             code,
             working_set,
             stats,
             final_checks,
-        })
+        };
+        // Hand the working vectors back for reuse; reset() clears them on
+        // the next run, so only capacity carries over.
+        let scratch = AllocScratch {
+            t: self.t,
+            scheduled: self.scheduled,
+            p: self.p,
+            c: self.c,
+            base: self.base,
+            order: self.order,
+            offset: self.offset,
+            out_edges: self.out_edges,
+            in_deg: self.in_deg,
+            pending: self.pending,
+            ready: self.ready,
+            holder: self.holder,
+            nodes: self.nodes,
+            events: self.events,
+            rotations: self.rotations,
+            amovs: self.amovs,
+            checks_log: self.checks_log,
+            ext_p_candidate: self.ext_p_candidate,
+        };
+        Ok((allocation, scratch))
     }
 }
 

@@ -138,6 +138,18 @@ pub fn program_order_allocate(
             sets_reg[i] = true;
         }
     }
+    // Earliest checkee order per checker, computed in ONE pass over the
+    // check set (check dsts always set a register, so their orders are
+    // final after the loop above). The previous form rescanned every check
+    // per op — O(ops × checks).
+    let mut min_checkee = vec![None::<u64>; n];
+    for c in graph.checks() {
+        if let Some(o) = order[c.dst.index()] {
+            let e = &mut min_checkee[c.src.index()];
+            *e = Some(e.map_or(o, |m: u64| m.min(o)));
+        }
+    }
+
     // Scan start for C-bit ops that do not set a register themselves
     // (POnly scope only): the earliest checkee's order. In program order
     // the checker precedes its checkees, so ops that do set a register
@@ -147,12 +159,7 @@ pub fn program_order_allocate(
         if pos[i] == usize::MAX || sets_reg[i] || !graph.c_bit(id) {
             continue;
         }
-        let scan_start = graph
-            .checks()
-            .filter(|c| c.src == id)
-            .filter_map(|c| order[c.dst.index()])
-            .min();
-        order[i] = scan_start;
+        order[i] = min_checkee[i];
     }
 
     // need(X): the earliest register order instruction X still requires at
@@ -162,11 +169,7 @@ pub fn program_order_allocate(
         let i = id.index();
         let own = if sets_reg[i] { order[i] } else { None };
         let scan = if graph.c_bit(id) {
-            graph
-                .checks()
-                .filter(|c| c.src == id)
-                .filter_map(|c| order[c.dst.index()])
-                .min()
+            min_checkee[i]
         } else {
             None
         };
@@ -184,16 +187,16 @@ pub fn program_order_allocate(
         base_at[i] = base_at[i + 1].min(own);
     }
     if !options.rotate {
-        for b in &mut base_at {
-            *b = 0;
-        }
+        base_at.fill(0);
     }
 
     let mut per_op = vec![None; n];
-    let mut stats = AllocStats::default();
-    stats.mem_ops = schedule.len();
-    stats.checks = graph.checks().count();
-    stats.antis = graph.antis().count();
+    let mut stats = AllocStats {
+        mem_ops: schedule.len(),
+        checks: graph.checks().count(),
+        antis: graph.antis().count(),
+        ..AllocStats::default()
+    };
     let mut working_set = 0u32;
     let mut code = Vec::new();
     for (i, &op) in schedule.iter().enumerate() {

@@ -92,9 +92,18 @@ impl ConstraintGraph {
     /// Panics if the schedule mentions an eliminated or out-of-range op.
     pub fn derive(region: &RegionSpec, deps: &DepGraph, schedule: &[MemOpId]) -> Self {
         let n = region.len();
+        // One pass over the elimination records instead of a linear scan
+        // per scheduled op.
+        let mut eliminated = vec![false; n];
+        for e in region.load_elims() {
+            eliminated[e.eliminated.index()] = true;
+        }
+        for e in region.store_elims() {
+            eliminated[e.eliminated.index()] = true;
+        }
         let mut pos = vec![usize::MAX; n];
         for (i, &op) in schedule.iter().enumerate() {
-            assert!(!region.is_eliminated(op), "eliminated op {op} in schedule");
+            assert!(!eliminated[op.index()], "eliminated op {op} in schedule");
             assert!(pos[op.index()] == usize::MAX, "op {op} scheduled twice");
             pos[op.index()] = i;
         }
@@ -121,10 +130,10 @@ impl ConstraintGraph {
         }
 
         // ANTI-CONSTRAINT pass (needs final P/C bits and the check set).
-        let has_check = |a: MemOpId, b: MemOpId, cs: &[Constraint]| {
-            cs.iter()
-                .any(|c| c.kind == ConstraintKind::Check && c.src == a && c.dst == b)
-        };
+        // The check pairs are hashed so the reverse-check lookup is O(1)
+        // per dependence instead of a scan over all checks.
+        let check_pairs: std::collections::HashSet<(MemOpId, MemOpId)> =
+            constraints.iter().map(|c| (c.src, c.dst)).collect();
         let mut antis = Vec::new();
         for d in deps.iter() {
             let (px, py) = (pos[d.src.index()], pos[d.dst.index()]);
@@ -132,7 +141,7 @@ impl ConstraintGraph {
                 continue;
             }
             if px < py
-                && !has_check(d.dst, d.src, &constraints)
+                && !check_pairs.contains(&(d.dst, d.src))
                 && p_bit[d.src.index()]
                 && c_bit[d.dst.index()]
             {

@@ -22,7 +22,7 @@
 //!   exempt — they do not affect the elimination's correctness.
 
 use crate::ids::MemOpId;
-use crate::region::RegionSpec;
+use crate::region::{RegionSpec, SealedRegion};
 
 /// Which rule produced a dependence.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -67,7 +67,109 @@ impl DepGraph {
     /// Eliminated operations take no part in dependences themselves — they
     /// are absent from the optimized code — but their eliminations induce
     /// the extended dependences described in the module docs.
+    ///
+    /// Seals the region (see [`SealedRegion`]) and runs the
+    /// output-sensitive enumeration: instead of testing all n² pairs
+    /// against the `HashMap`-backed relation, candidate pairs are drawn
+    /// from the `loc_class` buckets plus the explicit override list — the
+    /// only places aliasing pairs can come from. [`DepGraph::compute_naive`]
+    /// is the retained all-pairs reference; the two produce identical
+    /// graphs (enforced by differential tests).
     pub fn compute(region: &RegionSpec) -> Self {
+        Self::compute_sealed(&region.sealed())
+    }
+
+    /// [`DepGraph::compute`] on an already-sealed region view (callers that
+    /// keep the sealed view around avoid re-sealing).
+    pub fn compute_sealed(sealed: &SealedRegion<'_>) -> Self {
+        let region = sealed.spec();
+        let n = region.len();
+        let mut deps = Vec::new();
+        let live = |id: MemOpId| !sealed.is_eliminated(id);
+
+        // DEPENDENCE: forward, program order, may-alias, at least one
+        // store. Candidate pairs: same-`loc_class` pairs (aliasing by
+        // default; the bit-matrix probe rejects overridden-false ones) plus
+        // cross-class pairs forced aliasing by an override.
+        let mut plain = |i: u32, j: u32| {
+            debug_assert!(i < j);
+            let (x, y) = (MemOpId::new(i as usize), MemOpId::new(j as usize));
+            if !live(x) || !live(y) {
+                return;
+            }
+            let (kx, ky) = (region.op(x).kind, region.op(y).kind);
+            if (kx.is_store() || ky.is_store()) && sealed.may_alias(x, y) {
+                deps.push(Dep {
+                    src: x,
+                    dst: y,
+                    kind: DepKind::Plain,
+                });
+            }
+        };
+        for bucket in sealed.class_buckets() {
+            for (k, &i) in bucket.iter().enumerate() {
+                for &j in &bucket[k + 1..] {
+                    plain(i, j);
+                }
+            }
+        }
+        for &(lo, hi, may) in sealed.overrides() {
+            let cross_class = region.op(MemOpId::new(lo as usize)).loc_class
+                != region.op(MemOpId::new(hi as usize)).loc_class;
+            if may && cross_class {
+                plain(lo, hi);
+            }
+        }
+
+        // EXTENDED-DEPENDENCE 1: load Z eliminated, forwarded from X.
+        // For every *store* Y strictly between X and Z (original order) that
+        // may alias X: add Y ->dep X.
+        for le in region.load_elims() {
+            let (x, z) = (le.source, le.eliminated);
+            for j in (x.index() + 1)..z.index() {
+                let y = MemOpId::new(j);
+                if !live(y) {
+                    continue;
+                }
+                if region.op(y).kind.is_store() && sealed.may_alias(y, x) {
+                    deps.push(Dep {
+                        src: y,
+                        dst: x,
+                        kind: DepKind::ExtendedLoadElim,
+                    });
+                }
+            }
+        }
+
+        // EXTENDED-DEPENDENCE 2: store X eliminated, overwritten by Z.
+        // For every *load* Y strictly between X and Z that may alias Z:
+        // add Z ->dep Y.
+        for se in region.store_elims() {
+            let (x, z) = (se.eliminated, se.overwriter);
+            for j in (x.index() + 1)..z.index() {
+                let y = MemOpId::new(j);
+                if !live(y) {
+                    continue;
+                }
+                if region.op(y).kind.is_load() && sealed.may_alias(z, y) {
+                    deps.push(Dep {
+                        src: z,
+                        dst: y,
+                        kind: DepKind::ExtendedStoreElim,
+                    });
+                }
+            }
+        }
+
+        Self::index(n, deps)
+    }
+
+    /// The retained all-pairs reference implementation of
+    /// [`DepGraph::compute`]: O(n²) pair enumeration against the spec's
+    /// `HashMap`-backed relation and linear-scan elimination checks. Kept
+    /// as the oracle for differential tests and the benchmark baseline;
+    /// produces a graph identical to the fast path.
+    pub fn compute_naive(region: &RegionSpec) -> Self {
         let n = region.len();
         let mut deps = Vec::new();
         let live = |id: MemOpId| !region.is_eliminated(id);
@@ -134,7 +236,13 @@ impl DepGraph {
             }
         }
 
-        // Deduplicate (a pair may be produced by several elimination records).
+        Self::index(n, deps)
+    }
+
+    /// Shared tail of both computations: canonical sort, deduplication (a
+    /// pair may be produced by several elimination records; `Plain` wins
+    /// over extended kinds because it sorts first), and per-op indexing.
+    fn index(n: usize, mut deps: Vec<Dep>) -> Self {
         deps.sort_by_key(|d| (d.src, d.dst, d.kind as u8));
         deps.dedup_by_key(|d| (d.src, d.dst));
 

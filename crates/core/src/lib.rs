@@ -70,16 +70,18 @@ pub mod deps;
 pub mod error;
 pub mod ids;
 pub mod lower_bound;
+pub mod prng;
 pub mod queue;
 pub mod region;
 pub mod validate;
 
 pub use alloc::{
-    allocate, AliasCode, Allocation, Allocator, AmovInsn, OpAlias, RotateInsn, SchedulerMode,
+    allocate, AliasCode, AllocScratch, Allocation, Allocator, AmovInsn, OpAlias, RotateInsn,
+    SchedulerMode,
 };
 pub use constraints::{ConstraintGraph, ConstraintKind, ConstraintStats};
 pub use deps::{Dep, DepGraph, DepKind};
 pub use error::{AllocError, ValidationError};
 pub use ids::{MemOpId, Offset, Order};
 pub use lower_bound::live_range_lower_bound;
-pub use region::{LoadElim, MemKind, MemOp, RegionSpec, StoreElim};
+pub use region::{LoadElim, MemKind, MemOp, RegionSpec, SealedRegion, StoreElim};

@@ -34,20 +34,22 @@ pub fn live_range_lower_bound(region: &RegionSpec, deps: &DepGraph, schedule: &[
     for (i, &op) in schedule.iter().enumerate() {
         pos[op.index()] = i;
     }
+    // Last checker position per checkee, in one pass over the check set
+    // (instead of rescanning every check per P op).
+    let mut last_checker = vec![None::<usize>; region.len()];
+    for c in graph.checks() {
+        let p = pos[c.src.index()];
+        let e = &mut last_checker[c.dst.index()];
+        *e = Some(e.map_or(p, |m| m.max(p)));
+    }
     // Live range of each P op: [its position, last checker's position].
     let mut ranges: Vec<(usize, usize)> = Vec::new();
     for (id, _) in region.iter() {
         if !graph.p_bit(id) || pos[id.index()] == usize::MAX {
             continue;
         }
-        let start = pos[id.index()];
-        let end = graph
-            .checks()
-            .filter(|c| c.dst == id)
-            .map(|c| pos[c.src.index()])
-            .max();
-        if let Some(end) = end {
-            ranges.push((start, end));
+        if let Some(end) = last_checker[id.index()] {
+            ranges.push((pos[id.index()], end));
         }
     }
     // Maximum overlap: sweep.

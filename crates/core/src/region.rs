@@ -95,7 +95,10 @@ pub struct StoreElim {
 /// let b = r.push(MemKind::Load, 1);
 /// r.set_may_alias(a, b, true);
 /// assert!(r.may_alias(a, b));
-/// assert!(!r.may_alias(a, a) || true); // self-aliasing is not queried
+/// // Self-pairs always may-alias (an op trivially overlaps its own
+/// // location) and cannot be overridden — see `may_alias` for the
+/// // contract.
+/// assert!(r.may_alias(a, a));
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct RegionSpec {
@@ -159,10 +162,17 @@ impl RegionSpec {
         self.overrides.insert(key, may);
     }
 
-    /// Whether two distinct operations may access the same memory.
+    /// Whether two operations may access the same memory.
     ///
     /// Defaults to `loc_class` equality; explicit overrides from
     /// [`RegionSpec::set_may_alias`] win.
+    ///
+    /// **Self-alias contract:** `may_alias(a, a)` is always `true` — an
+    /// operation trivially accesses its own location. Self-pairs cannot be
+    /// overridden ([`RegionSpec::set_may_alias`] panics on `a == b`); the
+    /// dependence rules never *need* to ask about self-pairs, but callers
+    /// that do (e.g. the validator probing arbitrary pairs) get the
+    /// reflexive answer.
     pub fn may_alias(&self, a: MemOpId, b: MemOpId) -> bool {
         if a == b {
             return true;
@@ -227,6 +237,168 @@ impl RegionSpec {
         self.load_elims.iter().any(|e| e.eliminated == id)
             || self.store_elims.iter().any(|e| e.eliminated == id)
     }
+
+    /// Builds the sealed (finalized) view of this region: a dense
+    /// bit-matrix alias relation, an eliminated bitvec, and per-`loc_class`
+    /// op buckets. See [`SealedRegion`].
+    pub fn sealed(&self) -> SealedRegion<'_> {
+        SealedRegion::build(self)
+    }
+}
+
+/// A build-once, query-fast view of a [`RegionSpec`].
+///
+/// The mutable spec answers `may_alias` with a `HashMap` probe and
+/// `is_eliminated` with a linear scan over the elimination records — both
+/// are hit O(n²) times per region by dependence computation, constraint
+/// derivation, validation and the baselines. Sealing materializes:
+///
+/// * an **upper-triangle bit-matrix** of the full may-alias relation
+///   (`n·(n-1)/2` bits), so `may_alias` is one shift-and-mask;
+/// * an **eliminated bitvec**, so `is_eliminated` is O(1);
+/// * **`loc_class` buckets** (op indices grouped by class) plus the sorted
+///   explicit override list, so dependence computation can enumerate only
+///   the pairs that can possibly alias instead of all n² pairs.
+///
+/// The view borrows the spec; build it once per region after the spec
+/// stops changing (further `set_may_alias` calls on the spec are *not*
+/// reflected — reseal instead).
+#[derive(Clone, Debug)]
+pub struct SealedRegion<'a> {
+    spec: &'a RegionSpec,
+    n: usize,
+    /// Upper-triangle may-alias bits: pair `(i, j)` with `i < j` lives at
+    /// bit `i·(2n−i−1)/2 + (j−i−1)`.
+    alias_bits: Vec<u64>,
+    /// Bit `i` set ⇔ op `i` was eliminated.
+    eliminated: Vec<u64>,
+    /// Op indices grouped by `loc_class` (classes in first-seen order;
+    /// indices within a bucket ascending).
+    buckets: Vec<Vec<u32>>,
+    /// Explicit overrides as sorted `(lo, hi, may)` triples.
+    overrides: Vec<(u32, u32, bool)>,
+}
+
+impl<'a> SealedRegion<'a> {
+    fn build(spec: &'a RegionSpec) -> Self {
+        let n = spec.ops.len();
+
+        // Bucket ops by loc_class (first-seen class order, ascending
+        // indices within each bucket).
+        let mut class_of: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+        let mut buckets: Vec<Vec<u32>> = Vec::new();
+        for (i, op) in spec.ops.iter().enumerate() {
+            let b = *class_of.entry(op.loc_class).or_insert_with(|| {
+                buckets.push(Vec::new());
+                buckets.len() - 1
+            });
+            buckets[b].push(i as u32);
+        }
+
+        // Default relation: within-bucket pairs alias. Cost is
+        // Σ|bucket|² — output-sensitive, not n², when classes are spread.
+        let pairs = n * n.saturating_sub(1) / 2;
+        let mut alias_bits = vec![0u64; pairs.div_ceil(64)];
+        for bucket in &buckets {
+            for (k, &i) in bucket.iter().enumerate() {
+                for &j in &bucket[k + 1..] {
+                    let idx = Self::pair_index(n, i, j);
+                    alias_bits[idx >> 6] |= 1u64 << (idx & 63);
+                }
+            }
+        }
+
+        // Explicit overrides win over the default.
+        let mut overrides: Vec<(u32, u32, bool)> = spec
+            .overrides
+            .iter()
+            .map(|(&(lo, hi), &may)| (lo, hi, may))
+            .collect();
+        overrides.sort_unstable();
+        for &(lo, hi, may) in &overrides {
+            let idx = Self::pair_index(n, lo, hi);
+            if may {
+                alias_bits[idx >> 6] |= 1u64 << (idx & 63);
+            } else {
+                alias_bits[idx >> 6] &= !(1u64 << (idx & 63));
+            }
+        }
+
+        let mut eliminated = vec![0u64; n.div_ceil(64)];
+        for e in &spec.load_elims {
+            let i = e.eliminated.index();
+            eliminated[i >> 6] |= 1u64 << (i & 63);
+        }
+        for e in &spec.store_elims {
+            let i = e.eliminated.index();
+            eliminated[i >> 6] |= 1u64 << (i & 63);
+        }
+
+        SealedRegion {
+            spec,
+            n,
+            alias_bits,
+            eliminated,
+            buckets,
+            overrides,
+        }
+    }
+
+    #[inline]
+    fn pair_index(n: usize, lo: u32, hi: u32) -> usize {
+        let (lo, hi) = (lo as usize, hi as usize);
+        debug_assert!(lo < hi && hi < n);
+        lo * (2 * n - lo - 1) / 2 + (hi - lo - 1)
+    }
+
+    /// The underlying spec.
+    pub fn spec(&self) -> &'a RegionSpec {
+        self.spec
+    }
+
+    /// Number of memory operations (including eliminated ones).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the region has no memory operations.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Whether two operations may access the same memory — one bit probe.
+    ///
+    /// Same contract as [`RegionSpec::may_alias`], including the reflexive
+    /// self-pair answer (`may_alias(a, a)` is `true`).
+    #[inline]
+    pub fn may_alias(&self, a: MemOpId, b: MemOpId) -> bool {
+        if a == b {
+            return true;
+        }
+        let idx = Self::pair_index(self.n, a.0.min(b.0), a.0.max(b.0));
+        self.alias_bits[idx >> 6] >> (idx & 63) & 1 == 1
+    }
+
+    /// O(1) form of [`RegionSpec::is_eliminated`].
+    #[inline]
+    pub fn is_eliminated(&self, id: MemOpId) -> bool {
+        let i = id.index();
+        self.eliminated[i >> 6] >> (i & 63) & 1 == 1
+    }
+
+    /// Op indices grouped by `loc_class`: ops in the same slice default to
+    /// aliasing each other, ops in different slices default to not
+    /// aliasing. Explicit [`overrides`](Self::overrides) punch holes in
+    /// both directions.
+    pub fn class_buckets(&self) -> &[Vec<u32>] {
+        &self.buckets
+    }
+
+    /// The explicit override triples `(lo, hi, may)`, sorted ascending,
+    /// with `lo < hi`.
+    pub fn overrides(&self) -> &[(u32, u32, bool)] {
+        &self.overrides
+    }
 }
 
 #[cfg(test)]
@@ -288,6 +460,49 @@ mod tests {
         let s = r.push(MemKind::Store, 0);
         let s2 = r.push(MemKind::Store, 0);
         r.add_store_elim(s2, s);
+    }
+
+    #[test]
+    fn self_alias_is_reflexive_and_not_overridable() {
+        let mut r = RegionSpec::new();
+        let a = r.push(MemKind::Store, 0);
+        let b = r.push(MemKind::Load, 1);
+        // Reflexive for both kinds, regardless of overrides elsewhere.
+        assert!(r.may_alias(a, a));
+        assert!(r.may_alias(b, b));
+        r.set_may_alias(a, b, true);
+        assert!(r.may_alias(a, a));
+        let sealed = r.sealed();
+        assert!(sealed.may_alias(a, a));
+        assert!(sealed.may_alias(b, b));
+    }
+
+    #[test]
+    #[should_panic(expected = "self may-alias override is meaningless")]
+    fn self_alias_override_rejected() {
+        let mut r = RegionSpec::new();
+        let a = r.push(MemKind::Store, 0);
+        r.set_may_alias(a, a, false);
+    }
+
+    #[test]
+    fn sealed_matches_spec_on_all_pairs() {
+        let mut r = RegionSpec::new();
+        let ids: Vec<_> = (0..10).map(|i| r.push(MemKind::Load, i % 3)).collect();
+        r.set_may_alias(ids[0], ids[3], false); // same class, forced off
+        r.set_may_alias(ids[1], ids[2], true); // different class, forced on
+        r.add_load_elim(ids[0], ids[7]);
+        let sealed = r.sealed();
+        for &a in &ids {
+            for &b in &ids {
+                assert_eq!(sealed.may_alias(a, b), r.may_alias(a, b), "{a:?} {b:?}");
+            }
+            assert_eq!(sealed.is_eliminated(a), r.is_eliminated(a));
+        }
+        assert_eq!(sealed.len(), r.len());
+        let total: usize = sealed.class_buckets().iter().map(Vec::len).sum();
+        assert_eq!(total, r.len());
+        assert_eq!(sealed.overrides().len(), 2);
     }
 
     #[test]

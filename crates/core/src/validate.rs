@@ -41,6 +41,9 @@ pub fn validate_allocation(
     schedule: &[MemOpId],
     alloc: &Allocation,
 ) -> Result<(), ValidationError> {
+    // Seal once: the replay below probes may_alias for every (checker,
+    // examined entry) pair — a bit-matrix lookup instead of a HashMap probe.
+    let sealed = region.sealed();
     let graph = ConstraintGraph::derive(region, deps, schedule);
     let required: HashSet<(MemOpId, MemOpId)> = graph.checks().map(|c| (c.src, c.dst)).collect();
     let mut performed: HashSet<(MemOpId, MemOpId)> = HashSet::new();
@@ -94,7 +97,7 @@ pub fn validate_allocation(
                             .payload;
                         performed.insert((id, z));
                         // Precision: a genuine alias here must be required.
-                        if region.may_alias(id, z)
+                        if sealed.may_alias(id, z)
                             && !(is_load && region.op(z).kind.is_load())
                             && !required.contains(&(id, z))
                         {

@@ -3,14 +3,20 @@
 //! performed) and *precise* (no possible false positive), with all
 //! structural invariants intact. The symbolic hardware replay in
 //! `smarq::validate` is the oracle.
+//!
+//! Scenarios are drawn from the in-repo seeded [`Prng`] (the workspace
+//! builds offline, without proptest); every case is reproducible from its
+//! printed seed.
 
-use proptest::prelude::*;
 use smarq::baseline::{program_order_allocate, BaselineOptions, BaselineScope};
+use smarq::prng::Prng;
 use smarq::validate::validate_allocation;
 use smarq::{
     allocate, live_range_lower_bound, AliasCode, ConstraintGraph, DepGraph, MemKind, MemOpId,
     RegionSpec,
 };
+
+const CASES: u64 = 256;
 
 /// A randomly generated region + schedule scenario.
 #[derive(Debug, Clone)]
@@ -19,208 +25,229 @@ struct Scenario {
     schedule: Vec<MemOpId>,
 }
 
-/// Builds a region of `n` ops with random kinds and a random symmetric
-/// may-alias relation, then applies random valid load/store eliminations
-/// and produces a random permutation as the schedule (the allocator itself
-/// never requires the schedule to respect dependences; the embedding
-/// scheduler does — so any permutation is a legal stress input).
-fn scenario(max_ops: usize, elim: bool) -> impl Strategy<Value = Scenario> {
-    (2..=max_ops)
-        .prop_flat_map(move |n| {
-            let kinds = proptest::collection::vec(prop::bool::ANY, n);
-            let alias_bits = proptest::collection::vec(prop::bool::weighted(0.3), n * (n - 1) / 2);
-            let perm = Just(()).prop_perturb(move |_, mut rng| {
-                let mut v: Vec<usize> = (0..n).collect();
-                for i in (1..n).rev() {
-                    let j = (rng.next_u64() % (i as u64 + 1)) as usize;
-                    v.swap(i, j);
-                }
-                v
-            });
-            let elim_seed = prop::num::u64::ANY;
-            (Just(n), kinds, alias_bits, perm, elim_seed)
+/// Builds a region of up to `max_ops` ops with random kinds and a random
+/// symmetric may-alias relation, then (optionally) applies random valid
+/// load/store eliminations and produces a random permutation as the
+/// schedule (the allocator itself never requires the schedule to respect
+/// dependences; the embedding scheduler does — so any permutation is a
+/// legal stress input).
+fn scenario(rng: &mut Prng, max_ops: usize, elim: bool) -> Scenario {
+    let n = rng.range_usize(2, max_ops + 1);
+    let mut region = RegionSpec::new();
+    let ids: Vec<MemOpId> = (0..n)
+        .map(|i| {
+            let kind = if rng.chance(1, 2) {
+                MemKind::Store
+            } else {
+                MemKind::Load
+            };
+            region.push(kind, i as u32) // distinct classes; use overrides
         })
-        .prop_map(move |(n, kinds, alias_bits, perm, elim_seed)| {
-            let mut region = RegionSpec::new();
-            let ids: Vec<MemOpId> = (0..n)
-                .map(|i| {
-                    let kind = if kinds[i] {
-                        MemKind::Store
-                    } else {
-                        MemKind::Load
-                    };
-                    region.push(kind, i as u32) // distinct classes; use overrides
-                })
-                .collect();
-            let mut bit = 0;
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    region.set_may_alias(ids[i], ids[j], alias_bits[bit]);
-                    bit += 1;
-                }
-            }
+        .collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            region.set_may_alias(ids[i], ids[j], rng.chance(3, 10));
+        }
+    }
 
-            let mut eliminated = vec![false; n];
-            if elim {
-                // Deterministic pseudo-random elimination picks.
-                let mut state = elim_seed | 1;
-                let mut next = || {
-                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-                    state >> 33
-                };
-                // Try a few load eliminations: a load forwarded from an
-                // earlier op of any kind.
-                for _ in 0..2 {
-                    let zi = (next() as usize) % n;
-                    let z = ids[zi];
-                    if eliminated[zi] || !region.op(z).kind.is_load() || zi == 0 {
-                        continue;
-                    }
-                    let xi = (next() as usize) % zi;
-                    if eliminated[xi] {
-                        continue;
-                    }
-                    region.add_load_elim(ids[xi], z);
-                    eliminated[zi] = true;
-                }
-                // Try a store elimination: an earlier store overwritten by a
-                // later store.
-                for _ in 0..2 {
-                    let xi = (next() as usize) % n;
-                    if eliminated[xi] || !region.op(ids[xi]).kind.is_store() || xi + 1 >= n {
-                        continue;
-                    }
-                    let zi = xi + 1 + (next() as usize) % (n - xi - 1);
-                    if eliminated[zi] || !region.op(ids[zi]).kind.is_store() {
-                        continue;
-                    }
-                    region.add_store_elim(ids[xi], ids[zi]);
-                    eliminated[xi] = true;
-                    break;
-                }
+    let mut eliminated = vec![false; n];
+    if elim {
+        // Try a few load eliminations: a load forwarded from an earlier op
+        // of any kind.
+        for _ in 0..2 {
+            let zi = rng.range_usize(0, n);
+            let z = ids[zi];
+            if eliminated[zi] || !region.op(z).kind.is_load() || zi == 0 {
+                continue;
             }
+            let xi = rng.range_usize(0, zi);
+            if eliminated[xi] {
+                continue;
+            }
+            region.add_load_elim(ids[xi], z);
+            eliminated[zi] = true;
+        }
+        // Try a store elimination: an earlier store overwritten by a later
+        // store.
+        for _ in 0..2 {
+            let xi = rng.range_usize(0, n);
+            if eliminated[xi] || !region.op(ids[xi]).kind.is_store() || xi + 1 >= n {
+                continue;
+            }
+            let zi = rng.range_usize(xi + 1, n);
+            if eliminated[zi] || !region.op(ids[zi]).kind.is_store() {
+                continue;
+            }
+            region.add_store_elim(ids[xi], ids[zi]);
+            eliminated[xi] = true;
+            break;
+        }
+    }
 
-            let schedule: Vec<MemOpId> = perm
-                .into_iter()
-                .filter(|&i| !eliminated[i])
-                .map(|i| ids[i])
-                .collect();
-            Scenario { region, schedule }
-        })
+    let mut perm: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut perm);
+    let schedule: Vec<MemOpId> = perm
+        .into_iter()
+        .filter(|&i| !eliminated[i])
+        .map(|i| ids[i])
+        .collect();
+    Scenario { region, schedule }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// Runs `body` on `CASES` scenarios drawn from distinct seeds; panics carry
+/// the seed so failures reproduce exactly.
+fn for_scenarios(salt: u64, max_ops: usize, elim: bool, body: impl Fn(&Scenario)) {
+    for case in 0..CASES {
+        let seed = salt.wrapping_mul(0x1000).wrapping_add(case);
+        let sc = scenario(&mut Prng::new(seed), max_ops, elim);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&sc)));
+        if let Err(e) = result {
+            eprintln!("scenario seed {seed} (salt {salt}, case {case}) failed: {sc:?}");
+            std::panic::resume_unwind(e);
+        }
+    }
+}
 
-    /// Reordering-only scenarios: allocation always succeeds (given enough
-    /// registers) and validates.
-    #[test]
-    fn reorder_only_allocations_validate(sc in scenario(12, false)) {
+/// Reordering-only scenarios: allocation always succeeds (given enough
+/// registers) and validates.
+#[test]
+fn reorder_only_allocations_validate() {
+    for_scenarios(1, 12, false, |sc| {
         let deps = DepGraph::compute(&sc.region);
         let alloc = allocate(&sc.region, &deps, &sc.schedule, u32::MAX)
             .expect("allocation with unbounded registers must succeed");
         validate_allocation(&sc.region, &deps, &sc.schedule, &alloc)
             .expect("allocation must be sound and precise");
-    }
+    });
+}
 
-    /// Scenarios with speculative load/store eliminations: extended
-    /// dependences, anti-constraints, cycles and AMOVs all validate.
-    #[test]
-    fn elimination_allocations_validate(sc in scenario(12, true)) {
+/// Scenarios with speculative load/store eliminations: extended
+/// dependences, anti-constraints, cycles and AMOVs all validate.
+#[test]
+fn elimination_allocations_validate() {
+    for_scenarios(2, 12, true, |sc| {
         let deps = DepGraph::compute(&sc.region);
         let alloc = allocate(&sc.region, &deps, &sc.schedule, u32::MAX)
             .expect("allocation with unbounded registers must succeed");
         validate_allocation(&sc.region, &deps, &sc.schedule, &alloc)
             .expect("allocation must be sound and precise");
-    }
+    });
+}
 
-    /// order = base + offset and offsets bounded by the working set.
-    #[test]
-    fn structural_invariants(sc in scenario(10, true)) {
+/// order = base + offset and offsets bounded by the working set.
+#[test]
+fn structural_invariants() {
+    for_scenarios(3, 10, true, |sc| {
         let deps = DepGraph::compute(&sc.region);
         let alloc = allocate(&sc.region, &deps, &sc.schedule, u32::MAX).unwrap();
         let ws = alloc.working_set();
         for (id, _) in sc.region.iter() {
             if let Some(a) = alloc.op(id) {
-                prop_assert_eq!(
-                    a.order.value(),
-                    a.base.value() + a.offset.value() as u64
-                );
-                prop_assert!(a.offset.value() < ws.max(1));
+                assert_eq!(a.order.value(), a.base.value() + a.offset.value() as u64);
+                assert!(a.offset.value() < ws.max(1));
             }
         }
         // Rotation amounts are positive; code mentions each scheduled op once.
         let mut op_count = 0usize;
         for c in alloc.code() {
             match c {
-                AliasCode::Rotate(r) => prop_assert!(r.amount > 0),
+                AliasCode::Rotate(r) => assert!(r.amount > 0),
                 AliasCode::Op { .. } => op_count += 1,
                 AliasCode::Amov(_) => {}
             }
         }
-        prop_assert_eq!(op_count, sc.schedule.len());
-    }
+        assert_eq!(op_count, sc.schedule.len());
+    });
+}
 
-    /// The live-range lower bound never exceeds SMARQ's working set, and
-    /// SMARQ never exceeds the program-order baselines (on reorder-only
-    /// regions where the baseline is defined).
-    #[test]
-    fn working_set_sandwich(sc in scenario(10, false)) {
+/// The live-range lower bound never exceeds SMARQ's working set, and
+/// SMARQ never exceeds the program-order baselines (on reorder-only
+/// regions where the baseline is defined).
+#[test]
+fn working_set_sandwich() {
+    for_scenarios(4, 10, false, |sc| {
         let deps = DepGraph::compute(&sc.region);
         let alloc = allocate(&sc.region, &deps, &sc.schedule, u32::MAX).unwrap();
         let lb = live_range_lower_bound(&sc.region, &deps, &sc.schedule);
-        prop_assert!(lb <= alloc.working_set(),
-            "lower bound {} > SMARQ {}", lb, alloc.working_set());
+        assert!(
+            lb <= alloc.working_set(),
+            "lower bound {} > SMARQ {}",
+            lb,
+            alloc.working_set()
+        );
 
         let ponly = program_order_allocate(
-            &sc.region, &deps, &sc.schedule, u32::MAX,
-            BaselineOptions { scope: BaselineScope::POnly, rotate: true },
-        ).unwrap();
+            &sc.region,
+            &deps,
+            &sc.schedule,
+            u32::MAX,
+            BaselineOptions {
+                scope: BaselineScope::POnly,
+                rotate: true,
+            },
+        )
+        .unwrap();
         let allops = program_order_allocate(
-            &sc.region, &deps, &sc.schedule, u32::MAX,
-            BaselineOptions { scope: BaselineScope::AllOps, rotate: true },
-        ).unwrap();
-        prop_assert!(lb <= ponly.working_set());
-        prop_assert!(ponly.working_set() <= allops.working_set());
+            &sc.region,
+            &deps,
+            &sc.schedule,
+            u32::MAX,
+            BaselineOptions {
+                scope: BaselineScope::AllOps,
+                rotate: true,
+            },
+        )
+        .unwrap();
+        assert!(lb <= ponly.working_set());
+        assert!(ponly.working_set() <= allops.working_set());
         validate_allocation(&sc.region, &deps, &sc.schedule, &ponly).unwrap();
         validate_allocation(&sc.region, &deps, &sc.schedule, &allops).unwrap();
-    }
+    });
+}
 
-    /// The allocator reports exactly the constraints the batch rules derive
-    /// (the incremental and batch derivations agree).
-    #[test]
-    fn incremental_matches_batch_constraints(sc in scenario(10, true)) {
+/// The allocator reports exactly the constraints the batch rules derive
+/// (the incremental and batch derivations agree).
+#[test]
+fn incremental_matches_batch_constraints() {
+    for_scenarios(5, 10, true, |sc| {
         let deps = DepGraph::compute(&sc.region);
         let alloc = allocate(&sc.region, &deps, &sc.schedule, u32::MAX).unwrap();
         let batch = ConstraintGraph::derive(&sc.region, &deps, &sc.schedule);
-        prop_assert_eq!(alloc.stats().checks, batch.checks().count());
+        assert_eq!(alloc.stats().checks, batch.checks().count());
         // Anti constraints: the incremental allocator skips antis whose
         // producer register was already released — a strict subset.
-        prop_assert!(alloc.stats().antis <= batch.antis().count());
+        assert!(alloc.stats().antis <= batch.antis().count());
         // Every batch check appears among the final performed checks.
-        let finals: std::collections::HashSet<_> =
-            alloc.final_checks().iter().copied().collect();
+        let finals: std::collections::HashSet<_> = alloc.final_checks().iter().copied().collect();
         for c in batch.checks() {
-            prop_assert!(finals.contains(&(c.src, c.dst)),
-                "missing final check {:?} -> {:?}", c.src, c.dst);
+            assert!(
+                finals.contains(&(c.src, c.dst)),
+                "missing final check {:?} -> {:?}",
+                c.src,
+                c.dst
+            );
         }
-    }
+    });
+}
 
-    /// Feeding the allocator with a small register file either succeeds
-    /// with a working set within the file, or reports Overflow — never
-    /// produces an invalid allocation.
-    #[test]
-    fn small_files_overflow_or_fit(sc in scenario(10, true), regs in 1u32..6) {
+/// Feeding the allocator with a small register file either succeeds with a
+/// working set within the file, or reports Overflow — never produces an
+/// invalid allocation.
+#[test]
+fn small_files_overflow_or_fit() {
+    for_scenarios(6, 10, true, |sc| {
+        let mut rng = Prng::new(sc.schedule.len() as u64 + 17);
+        let regs = rng.range_u32(1, 6);
         let deps = DepGraph::compute(&sc.region);
         match allocate(&sc.region, &deps, &sc.schedule, regs) {
             Ok(alloc) => {
-                prop_assert!(alloc.working_set() <= regs);
+                assert!(alloc.working_set() <= regs);
                 validate_allocation(&sc.region, &deps, &sc.schedule, &alloc).unwrap();
             }
             Err(smarq::AllocError::Overflow { num_regs, .. }) => {
-                prop_assert_eq!(num_regs, regs);
+                assert_eq!(num_regs, regs);
             }
-            Err(e) => return Err(TestCaseError::fail(format!("unexpected error {e}"))),
+            Err(e) => panic!("unexpected error {e}"),
         }
-    }
+    });
 }

@@ -212,11 +212,7 @@ pub fn parse_program(src: &str) -> Result<Program, ParseAsmError> {
 
     for (i, raw_line) in src.lines().enumerate() {
         let line_no = i + 1;
-        let line = raw_line
-            .split(|c| c == ';' || c == '#')
-            .next()
-            .unwrap_or("")
-            .trim();
+        let line = raw_line.split([';', '#']).next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
         }

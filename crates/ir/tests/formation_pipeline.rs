@@ -51,7 +51,10 @@ fn lowering_reflects_the_analysis_after_unrolling() {
     // Dependences exist and the unrolled region allocates cleanly when the
     // loads hoist above the cross-pointer stores.
     let deps = DepGraph::compute(&spec);
-    assert!(deps.has_dep(ids[1], ids[3]), "store then next replica's load");
+    assert!(
+        deps.has_dep(ids[1], ids[3]),
+        "store then next replica's load"
+    );
     let schedule = vec![
         ids[0], ids[2], ids[1], ids[3], ids[5], ids[4], ids[6], ids[8], ids[7],
     ];

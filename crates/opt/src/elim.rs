@@ -98,30 +98,22 @@ pub fn run_eliminations(
                 }
                 AliasRel::Must => {
                     match sb.ops[j] {
-                        IrOp::St { rs, .. } if !l_fp => {
-                            if !redefined_int(rs, j, l) {
-                                found = Some((j, rs));
-                            }
+                        IrOp::St { rs, .. } if !l_fp && !redefined_int(rs, j, l) => {
+                            found = Some((j, rs));
                         }
-                        IrOp::FSt { fs, .. } if l_fp => {
-                            if !redefined_fp(fs, j, l) {
-                                found = Some((j, fs));
-                            }
+                        IrOp::FSt { fs, .. } if l_fp && !redefined_fp(fs, j, l) => {
+                            found = Some((j, fs));
                         }
-                        IrOp::Ld { rd, .. } if !l_fp => {
-                            if !redefined_int(rd, j, l) {
-                                // A previously eliminated load resolves to
-                                // its own ultimate source: the alias checks
-                                // must guard the *original* window.
-                                let src = fwd.get(&j).copied().unwrap_or(j);
-                                found = Some((src, rd));
-                            }
+                        IrOp::Ld { rd, .. } if !l_fp && !redefined_int(rd, j, l) => {
+                            // A previously eliminated load resolves to its
+                            // own ultimate source: the alias checks must
+                            // guard the *original* window.
+                            let src = fwd.get(&j).copied().unwrap_or(j);
+                            found = Some((src, rd));
                         }
-                        IrOp::FLd { fd, .. } if l_fp => {
-                            if !redefined_fp(fd, j, l) {
-                                let src = fwd.get(&j).copied().unwrap_or(j);
-                                found = Some((src, fd));
-                            }
+                        IrOp::FLd { fd, .. } if l_fp && !redefined_fp(fd, j, l) => {
+                            let src = fwd.get(&j).copied().unwrap_or(j);
+                            found = Some((src, fd));
                         }
                         _ => {} // cross-file must-alias: blocker
                     }
@@ -693,8 +685,8 @@ pub fn dce(sb: &Superblock, elims: &mut Eliminations) {
                 if later.is_exit() {
                     break; // the exit observes the register: live
                 }
-                let read = int_def.map_or(false, |d| later.int_uses().contains(&d))
-                    || fp_def.map_or(false, |d| later.fp_uses().contains(&d));
+                let read = int_def.is_some_and(|d| later.int_uses().contains(&d))
+                    || fp_def.is_some_and(|d| later.fp_uses().contains(&d));
                 if read {
                     decided = true;
                     break;

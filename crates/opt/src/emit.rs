@@ -565,17 +565,19 @@ mod efficeon_tests {
         for b in &opt.vliw.bundles {
             for op in &b.ops {
                 match op {
-                    VliwOp::Load { alias, .. } => {
-                        if let AliasAnnot::Efficeon { set, check_mask } = alias {
-                            assert_eq!(*check_mask, 0, "loads only set here");
-                            set_regs.extend(*set);
-                        }
+                    VliwOp::Load {
+                        alias: AliasAnnot::Efficeon { set, check_mask },
+                        ..
+                    } => {
+                        assert_eq!(*check_mask, 0, "loads only set here");
+                        set_regs.extend(*set);
                     }
-                    VliwOp::Store { alias, .. } => {
-                        if let AliasAnnot::Efficeon { set, check_mask } = alias {
-                            assert!(set.is_none(), "the store sets nothing");
-                            masks.push(*check_mask);
-                        }
+                    VliwOp::Store {
+                        alias: AliasAnnot::Efficeon { set, check_mask },
+                        ..
+                    } => {
+                        assert!(set.is_none(), "the store sets nothing");
+                        masks.push(*check_mask);
                     }
                     VliwOp::Amov { .. } | VliwOp::Rotate { .. } => {
                         panic!("Efficeon code must not contain queue ops")

@@ -102,10 +102,34 @@ pub fn optimize_superblock(
     machine: &MachineConfig,
     blacklist: &AliasBlacklist,
 ) -> Optimized {
+    optimize_superblock_with_scratch(
+        sb,
+        config,
+        machine,
+        blacklist,
+        &mut smarq::AllocScratch::new(),
+    )
+}
+
+/// Like [`optimize_superblock`], but recycles `scratch` for the embedded
+/// alias register allocator. A long-running translator (see
+/// `smarq-runtime`) keeps one scratch per thread so back-to-back region
+/// translations reuse the allocator's working memory instead of
+/// reallocating it. Results are identical to [`optimize_superblock`].
+///
+/// # Panics
+/// Panics if `sb` fails [`Superblock::validate`] (caller bug).
+pub fn optimize_superblock_with_scratch(
+    sb: &Superblock,
+    config: &OptConfig,
+    machine: &MachineConfig,
+    blacklist: &AliasBlacklist,
+    scratch: &mut smarq::AllocScratch,
+) -> Optimized {
     sb.validate().expect("well-formed superblock");
     let mut cfg = config.clone();
     for retry in 0..3u32 {
-        match try_optimize(sb, &cfg, machine, blacklist) {
+        match try_optimize(sb, &cfg, machine, blacklist, scratch) {
             Ok(mut opt) => {
                 opt.stats.overflow_retries = retry;
                 return opt;
@@ -132,6 +156,7 @@ fn try_optimize(
     config: &OptConfig,
     machine: &MachineConfig,
     blacklist: &AliasBlacklist,
+    scratch: &mut smarq::AllocScratch,
 ) -> Result<Optimized, Overflowed> {
     let analysis = AliasAnalysis::new(sb);
     let (mut spec, map) = build_region_spec(sb, &analysis);
@@ -141,8 +166,24 @@ fn try_optimize(
     let work = dag::build_work_list(sb, &elims);
     let graph = dag::build_dag(sb, &analysis, &work, config, machine, blacklist);
     let sched_start = std::time::Instant::now();
-    let sched = sched::schedule(&work, &graph, config, machine, &spec, &deps, &map)
-        .map_err(|_| Overflowed)?;
+    // On overflow the scratch is dropped inside the allocator; leave the
+    // caller's slot holding a fresh (empty) one.
+    let sched = match sched::schedule_with_scratch(
+        &work,
+        &graph,
+        config,
+        machine,
+        &spec,
+        &deps,
+        &map,
+        std::mem::take(scratch),
+    ) {
+        Ok((res, s)) => {
+            *scratch = s;
+            res
+        }
+        Err(_) => return Err(Overflowed),
+    };
     let sched_ns = sched_start.elapsed().as_nanos() as u64;
     if config.hw == smarq_vliw::HwKind::Efficeon {
         if let Some(alloc) = &sched.allocation {

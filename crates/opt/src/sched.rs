@@ -5,7 +5,7 @@
 
 use crate::config::OptConfig;
 use crate::dag::{Dag, WorkList};
-use smarq::{AllocError, Allocation, Allocator, DepGraph, RegionSpec, SchedulerMode};
+use smarq::{AllocError, AllocScratch, Allocation, Allocator, DepGraph, RegionSpec, SchedulerMode};
 use smarq_ir::{IrOp, RegionMap};
 use smarq_vliw::{HwKind, MachineConfig};
 
@@ -57,6 +57,36 @@ pub fn schedule(
     deps: &DepGraph,
     map: &RegionMap,
 ) -> Result<ScheduleResult, AllocError> {
+    schedule_with_scratch(
+        work,
+        dag,
+        config,
+        machine,
+        spec,
+        deps,
+        map,
+        AllocScratch::new(),
+    )
+    .map(|(res, _)| res)
+}
+
+/// Like [`schedule`], but recycles (and hands back) the allocator's scratch
+/// buffers so a translation loop avoids per-region allocation. The scratch
+/// is dropped on error (the caller restarts with a fresh one).
+///
+/// # Errors
+/// Same as [`schedule`].
+#[allow(clippy::too_many_arguments)]
+pub fn schedule_with_scratch(
+    work: &WorkList,
+    dag: &Dag,
+    config: &OptConfig,
+    machine: &MachineConfig,
+    spec: &RegionSpec,
+    deps: &DepGraph,
+    map: &RegionMap,
+    scratch: AllocScratch,
+) -> Result<(ScheduleResult, AllocScratch), AllocError> {
     let n = work.ops.len();
     let mut unsched_preds: Vec<u32> = dag.hard_preds.iter().map(|p| p.len() as u32).collect();
     let mut est = vec![0u64; n];
@@ -67,8 +97,19 @@ pub fn schedule(
     // its working-set bound also bounds the bit-mask file's live ranges
     // (interval max-overlap <= queue working set), and the final check
     // pairs are exactly what the masks must encode.
-    let mut allocator = matches!(config.hw, HwKind::Smarq | HwKind::Efficeon)
-        .then(|| Allocator::new(spec, deps, config.num_alias_regs.max(1)));
+    let use_alloc = matches!(config.hw, HwKind::Smarq | HwKind::Efficeon);
+    let mut spare = None;
+    let mut allocator = if use_alloc {
+        Some(Allocator::with_scratch(
+            spec,
+            deps,
+            config.num_alias_regs.max(1),
+            scratch,
+        ))
+    } else {
+        spare = Some(scratch);
+        None
+    };
 
     let mut remaining = n;
     let mut cycle = 0u64;
@@ -136,7 +177,7 @@ pub fn schedule(
             }
             for &(s, d) in &dag.hard_succs[k] {
                 unsched_preds[s] -= 1;
-                est[s] = est[s].max(cycle + d.max(0)).max(cycle + d);
+                est[s] = est[s].max(cycle + d);
             }
             if mem_slots == 0 && fpu_slots == 0 && alu_slots == 0 {
                 break;
@@ -146,15 +187,21 @@ pub fn schedule(
         cycle += 1;
     }
 
-    let allocation = match allocator {
-        Some(a) => Some(a.finish()?),
-        None => None,
+    let (allocation, scratch) = match allocator {
+        Some(a) => {
+            let (alloc, scratch) = a.finish_reclaim()?;
+            (Some(alloc), scratch)
+        }
+        None => (None, spare.expect("scratch parked when no allocator")),
     };
-    Ok(ScheduleResult {
-        linear,
-        cycles,
-        allocation,
-    })
+    Ok((
+        ScheduleResult {
+            linear,
+            cycles,
+            allocation,
+        },
+        scratch,
+    ))
 }
 
 #[cfg(test)]

@@ -1,10 +1,11 @@
 //! The dynamic optimization system loop.
 
 use crate::stats::{RegionRecord, SystemStats};
+use smarq::AllocScratch;
 use smarq_guest::{BlockId, Interpreter, Program};
 use smarq_ir::OpOrigin;
 use smarq_ir::{form_superblock, unroll_superblock, FormationParams, IrOp, Superblock};
-use smarq_opt::{optimize_superblock, AliasBlacklist, OptConfig};
+use smarq_opt::{optimize_superblock_with_scratch, AliasBlacklist, OptConfig};
 use smarq_vliw::{AnyAliasHw, MachineConfig, RegionOutcome, Simulator, VliwProgram, VliwState};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
@@ -88,6 +89,8 @@ pub struct DynOptSystem {
     abandoned: HashSet<BlockId>,
     blacklist: AliasBlacklist,
     stats: SystemStats,
+    /// Allocator scratch recycled across every (re)translation.
+    scratch: AllocScratch,
 }
 
 impl DynOptSystem {
@@ -108,6 +111,7 @@ impl DynOptSystem {
             abandoned: HashSet::new(),
             blacklist: AliasBlacklist::new(),
             stats: SystemStats::default(),
+            scratch: AllocScratch::new(),
         }
     }
 
@@ -184,7 +188,13 @@ impl DynOptSystem {
             self.config.unroll_factor,
             self.config.formation.max_ops,
         );
-        let opt = optimize_superblock(&sb, &self.config.opt, &self.config.machine, &self.blacklist);
+        let opt = optimize_superblock_with_scratch(
+            &sb,
+            &self.config.opt,
+            &self.config.machine,
+            &self.blacklist,
+            &mut self.scratch,
+        );
         let ns = t0.elapsed().as_nanos() as u64;
         self.stats.translation_ns += ns;
         self.stats.scheduling_ns += opt.stats.sched_ns;
@@ -210,11 +220,12 @@ impl DynOptSystem {
 
     fn retranslate(&mut self, idx: usize) {
         let t0 = Instant::now();
-        let opt = optimize_superblock(
+        let opt = optimize_superblock_with_scratch(
             &self.regions[idx].sb,
             &self.config.opt,
             &self.config.machine,
             &self.blacklist,
+            &mut self.scratch,
         );
         let ns = t0.elapsed().as_nanos() as u64;
         self.stats.translation_ns += ns;

@@ -122,11 +122,13 @@ impl AliasHardware for SmarqQueueHw {
                 .queue
                 .valid_from(offset)
                 .expect("translator emitted an in-range offset");
-            let hits = self
+            // Allocation-free first-hit scan: an alias exception fires on
+            // the first conflicting entry, so later hits are irrelevant.
+            let hit = self
                 .queue
-                .check(offset, is_load, |&(r, _)| r.overlaps(range))
+                .check_first(offset, is_load, |&(r, _)| r.overlaps(range))
                 .expect("translator emitted an in-range offset");
-            if let Some(&h) = hits.first() {
+            if let Some(h) = hit {
                 let producer = self
                     .queue
                     .get(h)
@@ -269,15 +271,13 @@ impl AliasHardware for AlatHw {
         let mut examined = 0;
         if !is_load {
             // Stores implicitly check ALL valid entries.
-            for slot in self.entries.iter() {
-                if let Some((r, producer)) = slot {
-                    examined += 1;
-                    if r.overlaps(range) {
-                        return Err(AliasViolation {
-                            checker_tag: tag,
-                            producer_tag: *producer,
-                        });
-                    }
+            for (r, producer) in self.entries.iter().flatten() {
+                examined += 1;
+                if r.overlaps(range) {
+                    return Err(AliasViolation {
+                        checker_tag: tag,
+                        producer_tag: *producer,
+                    });
                 }
             }
         }

@@ -8,8 +8,7 @@
 //! seed.
 
 use crate::kernels::Workload;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use smarq::prng::Prng;
 use smarq_guest::{AluOp, CmpOp, FReg, FpuOp, Program, ProgramBuilder, Reg};
 
 /// Parameters for [`random_workload_with`].
@@ -56,7 +55,7 @@ pub fn random_workload_with(seed: u64, params: RandomParams) -> Workload {
 }
 
 fn build(seed: u64, params: RandomParams) -> Program {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Prng::new(seed);
     let mut b = ProgramBuilder::new();
     let entry = b.block();
     let body = b.block();
@@ -66,41 +65,41 @@ fn build(seed: u64, params: RandomParams) -> Program {
     b.iconst(entry, Reg(2), params.iters);
     // Pointer registers r10..r15 over a small address pool.
     for r in 10u8..16 {
-        let slot = rng.gen_range(0..params.address_pool.max(1));
+        let slot = rng.bounded(params.address_pool.max(1));
         b.iconst(entry, Reg(r), 0x1000 + slot as i64 * 128);
     }
     // Seed value registers.
     for r in 16u8..22 {
-        b.iconst(entry, Reg(r), rng.gen_range(-8i64..32));
+        b.iconst(entry, Reg(r), rng.range_i64(-8, 32));
     }
     for f in 8u8..16 {
-        b.fconst(entry, FReg(f), f64::from(rng.gen_range(1..32)) * 0.25);
+        b.fconst(entry, FReg(f), f64::from(rng.range_u32(1, 32)) * 0.25);
     }
     b.jump(entry, body);
 
     let alu = [AluOp::Add, AluOp::Sub, AluOp::Mul, AluOp::Xor, AluOp::And];
     let fpu = [FpuOp::Add, FpuOp::Sub, FpuOp::Mul, FpuOp::Max];
     for _ in 0..params.body_ops {
-        let base = Reg(rng.gen_range(10u8..16));
-        let disp = i64::from(rng.gen_range(0u8..8)) * 8;
-        match rng.gen_range(0u8..6) {
-            0 => b.ld(body, Reg(rng.gen_range(16u8..22)), base, disp),
-            1 => b.st(body, Reg(rng.gen_range(16u8..22)), base, disp),
-            2 => b.fld(body, FReg(rng.gen_range(8u8..16)), base, disp),
-            3 => b.fst(body, FReg(rng.gen_range(8u8..16)), base, disp),
+        let base = Reg(rng.range_u32(10, 16) as u8);
+        let disp = i64::from(rng.range_u32(0, 8)) * 8;
+        match rng.bounded(6) {
+            0 => b.ld(body, Reg(rng.range_u32(16, 22) as u8), base, disp),
+            1 => b.st(body, Reg(rng.range_u32(16, 22) as u8), base, disp),
+            2 => b.fld(body, FReg(rng.range_u32(8, 16) as u8), base, disp),
+            3 => b.fst(body, FReg(rng.range_u32(8, 16) as u8), base, disp),
             4 => b.alu(
                 body,
-                alu[rng.gen_range(0..alu.len())],
-                Reg(rng.gen_range(16u8..22)),
-                Reg(rng.gen_range(16u8..22)),
-                Reg(rng.gen_range(16u8..22)),
+                *rng.pick(&alu),
+                Reg(rng.range_u32(16, 22) as u8),
+                Reg(rng.range_u32(16, 22) as u8),
+                Reg(rng.range_u32(16, 22) as u8),
             ),
             _ => b.fpu(
                 body,
-                fpu[rng.gen_range(0..fpu.len())],
-                FReg(rng.gen_range(8u8..16)),
-                FReg(rng.gen_range(8u8..16)),
-                FReg(rng.gen_range(8u8..16)),
+                *rng.pick(&fpu),
+                FReg(rng.range_u32(8, 16) as u8),
+                FReg(rng.range_u32(8, 16) as u8),
+                FReg(rng.range_u32(8, 16) as u8),
             ),
         }
     }

@@ -74,22 +74,21 @@ fn speculative_configs_never_lose_to_the_baseline_badly() {
 #[test]
 fn rollback_workloads_converge() {
     // equake truly aliases one strand pointer at runtime.
-    for name in ["equake"] {
-        let w = smarq_workloads::scaled(name, 500).unwrap();
-        let mut sys = DynOptSystem::new(
-            w.program.clone(),
-            SystemConfig::with_opt(OptConfig::smarq(64)),
-        );
-        sys.run_to_completion(u64::MAX);
-        let s = sys.stats();
-        assert!(s.rollbacks >= 1, "{name} must fault at least once");
-        assert!(
-            s.rollbacks <= 8,
-            "{name}: blacklisting must converge, saw {} rollbacks",
-            s.rollbacks
-        );
-        assert!(!sys.blacklist().is_empty());
-    }
+    let name = "equake";
+    let w = smarq_workloads::scaled(name, 500).unwrap();
+    let mut sys = DynOptSystem::new(
+        w.program.clone(),
+        SystemConfig::with_opt(OptConfig::smarq(64)),
+    );
+    sys.run_to_completion(u64::MAX);
+    let s = sys.stats();
+    assert!(s.rollbacks >= 1, "{name} must fault at least once");
+    assert!(
+        s.rollbacks <= 8,
+        "{name}: blacklisting must converge, saw {} rollbacks",
+        s.rollbacks
+    );
+    assert!(!sys.blacklist().is_empty());
 }
 
 #[test]

@@ -2,9 +2,12 @@
 //! loops — including ones whose pointers truly alias at runtime — the
 //! dynamically optimized execution must produce exactly the architectural
 //! state pure interpretation produces, under every hardware scheme.
+//!
+//! Loops are drawn from the in-repo seeded [`Prng`] (the workspace builds
+//! offline, without proptest); failures reproduce from the printed seed.
 
-use proptest::prelude::*;
-use smarq_guest::{AluOp, BlockId, CmpOp, FReg, FpuOp, Interpreter, Program, ProgramBuilder, Reg};
+use smarq::prng::Prng;
+use smarq_guest::{AluOp, CmpOp, FReg, FpuOp, Interpreter, Program, ProgramBuilder, Reg};
 use smarq_opt::OptConfig;
 use smarq_runtime::{DynOptSystem, SystemConfig};
 
@@ -19,41 +22,60 @@ enum BodyOp {
     Fpu { op: u8, dst: u8, a: u8, b: u8 },
 }
 
-fn body_op() -> impl Strategy<Value = BodyOp> {
-    prop_oneof![
-        (0u8..6, 10u8..16, 0u8..8).prop_map(|(dst, base, disp)| BodyOp::Ld {
-            dst: dst + 16,
-            base,
-            disp
-        }),
-        (0u8..6, 10u8..16, 0u8..8).prop_map(|(src, base, disp)| BodyOp::St {
-            src: src + 16,
-            base,
-            disp
-        }),
-        (0u8..6, 10u8..16, 0u8..8).prop_map(|(dst, base, disp)| BodyOp::FLd {
-            dst: dst + 8,
-            base,
-            disp
-        }),
-        (0u8..6, 10u8..16, 0u8..8).prop_map(|(src, base, disp)| BodyOp::FSt {
-            src: src + 8,
-            base,
-            disp
-        }),
-        (0u8..5, 0u8..6, 0u8..6, 0u8..6).prop_map(|(op, dst, a, b)| BodyOp::Alu {
-            op,
-            dst: dst + 16,
-            a: a + 16,
-            b: b + 16
-        }),
-        (0u8..4, 0u8..6, 0u8..6, 0u8..6).prop_map(|(op, dst, a, b)| BodyOp::Fpu {
-            op,
-            dst: dst + 8,
-            a: a + 8,
-            b: b + 8
-        }),
-    ]
+fn body_op(rng: &mut Prng) -> BodyOp {
+    let mem = |rng: &mut Prng| {
+        (
+            rng.range_u32(0, 6) as u8,
+            rng.range_u32(10, 16) as u8,
+            rng.range_u32(0, 8) as u8,
+        )
+    };
+    match rng.bounded(6) {
+        0 => {
+            let (dst, base, disp) = mem(rng);
+            BodyOp::Ld {
+                dst: dst + 16,
+                base,
+                disp,
+            }
+        }
+        1 => {
+            let (src, base, disp) = mem(rng);
+            BodyOp::St {
+                src: src + 16,
+                base,
+                disp,
+            }
+        }
+        2 => {
+            let (dst, base, disp) = mem(rng);
+            BodyOp::FLd {
+                dst: dst + 8,
+                base,
+                disp,
+            }
+        }
+        3 => {
+            let (src, base, disp) = mem(rng);
+            BodyOp::FSt {
+                src: src + 8,
+                base,
+                disp,
+            }
+        }
+        4 => BodyOp::Alu {
+            op: rng.range_u32(0, 5) as u8,
+            dst: rng.range_u32(0, 6) as u8 + 16,
+            a: rng.range_u32(0, 6) as u8 + 16,
+            b: rng.range_u32(0, 6) as u8 + 16,
+        },
+        _ => BodyOp::Fpu {
+            op: rng.range_u32(0, 4) as u8,
+            dst: rng.range_u32(0, 6) as u8 + 8,
+            a: rng.range_u32(0, 6) as u8 + 8,
+            b: rng.range_u32(0, 6) as u8 + 8,
+        },
+    }
 }
 
 /// A random loop program: pointer registers r10..r15 point into a small
@@ -64,74 +86,67 @@ struct RandomLoop {
     program: Program,
 }
 
-fn random_loop() -> impl Strategy<Value = RandomLoop> {
-    (
-        proptest::collection::vec(body_op(), 4..40),
-        proptest::collection::vec(0u64..4, 6), // pointer -> address pool
-        20i64..120,
-    )
-        .prop_map(|(ops, bases, iters)| {
-            let mut b = ProgramBuilder::new();
-            let entry = b.block();
-            let body = b.block();
-            let done = b.block();
-            b.iconst(entry, Reg(1), 0);
-            b.iconst(entry, Reg(2), iters);
-            for (i, &pool) in bases.iter().enumerate() {
-                // Address pool of 4 slots, 64 bytes apart: some pointers
-                // truly alias, some do not.
-                b.iconst(entry, Reg(10 + i as u8), 0x1000 + pool as i64 * 64);
-            }
-            for (i, fr) in (8u8..16).enumerate() {
-                b.fconst(entry, FReg(fr), 1.0 + i as f64 * 0.5);
-            }
-            for (i, r) in (16u8..22).enumerate() {
-                b.iconst(entry, Reg(r), i as i64 * 3 + 1);
-            }
-            b.jump(entry, body);
+fn random_loop(rng: &mut Prng) -> RandomLoop {
+    let ops: Vec<BodyOp> = (0..rng.range_usize(4, 40)).map(|_| body_op(rng)).collect();
+    let bases: Vec<u64> = (0..6).map(|_| rng.bounded(4)).collect();
+    let iters = rng.range_i64(20, 120);
 
-            let alu_ops = [AluOp::Add, AluOp::Sub, AluOp::Mul, AluOp::Xor, AluOp::And];
-            let fpu_ops = [FpuOp::Add, FpuOp::Sub, FpuOp::Mul, FpuOp::Max];
-            for op in &ops {
-                match *op {
-                    BodyOp::Ld { dst, base, disp } => {
-                        b.ld(body, Reg(dst), Reg(base), i64::from(disp) * 8)
-                    }
-                    BodyOp::St { src, base, disp } => {
-                        b.st(body, Reg(src), Reg(base), i64::from(disp) * 8)
-                    }
-                    BodyOp::FLd { dst, base, disp } => {
-                        b.fld(body, FReg(dst), Reg(base), i64::from(disp) * 8)
-                    }
-                    BodyOp::FSt { src, base, disp } => {
-                        b.fst(body, FReg(src), Reg(base), i64::from(disp) * 8)
-                    }
-                    BodyOp::Alu { op, dst, a, b: rb } => b.alu(
-                        body,
-                        alu_ops[op as usize % alu_ops.len()],
-                        Reg(dst),
-                        Reg(a),
-                        Reg(rb),
-                    ),
-                    BodyOp::Fpu { op, dst, a, b: rb } => b.fpu(
-                        body,
-                        fpu_ops[op as usize % fpu_ops.len()],
-                        FReg(dst),
-                        FReg(a),
-                        FReg(rb),
-                    ),
-                }
+    let mut b = ProgramBuilder::new();
+    let entry = b.block();
+    let body = b.block();
+    let done = b.block();
+    b.iconst(entry, Reg(1), 0);
+    b.iconst(entry, Reg(2), iters);
+    for (i, &pool) in bases.iter().enumerate() {
+        // Address pool of 4 slots, 64 bytes apart: some pointers truly
+        // alias, some do not.
+        b.iconst(entry, Reg(10 + i as u8), 0x1000 + pool as i64 * 64);
+    }
+    for (i, fr) in (8u8..16).enumerate() {
+        b.fconst(entry, FReg(fr), 1.0 + i as f64 * 0.5);
+    }
+    for (i, r) in (16u8..22).enumerate() {
+        b.iconst(entry, Reg(r), i as i64 * 3 + 1);
+    }
+    b.jump(entry, body);
+
+    let alu_ops = [AluOp::Add, AluOp::Sub, AluOp::Mul, AluOp::Xor, AluOp::And];
+    let fpu_ops = [FpuOp::Add, FpuOp::Sub, FpuOp::Mul, FpuOp::Max];
+    for op in &ops {
+        match *op {
+            BodyOp::Ld { dst, base, disp } => b.ld(body, Reg(dst), Reg(base), i64::from(disp) * 8),
+            BodyOp::St { src, base, disp } => b.st(body, Reg(src), Reg(base), i64::from(disp) * 8),
+            BodyOp::FLd { dst, base, disp } => {
+                b.fld(body, FReg(dst), Reg(base), i64::from(disp) * 8)
             }
-            b.alu_imm(body, AluOp::Add, Reg(1), Reg(1), 1);
-            b.branch(body, CmpOp::Lt, Reg(1), Reg(2), body, done);
-            b.halt(done);
-            RandomLoop {
-                program: b.finish(entry),
+            BodyOp::FSt { src, base, disp } => {
+                b.fst(body, FReg(src), Reg(base), i64::from(disp) * 8)
             }
-        })
+            BodyOp::Alu { op, dst, a, b: rb } => b.alu(
+                body,
+                alu_ops[op as usize % alu_ops.len()],
+                Reg(dst),
+                Reg(a),
+                Reg(rb),
+            ),
+            BodyOp::Fpu { op, dst, a, b: rb } => b.fpu(
+                body,
+                fpu_ops[op as usize % fpu_ops.len()],
+                FReg(dst),
+                FReg(a),
+                FReg(rb),
+            ),
+        }
+    }
+    b.alu_imm(body, AluOp::Add, Reg(1), Reg(1), 1);
+    b.branch(body, CmpOp::Lt, Reg(1), Reg(2), body, done);
+    b.halt(done);
+    RandomLoop {
+        program: b.finish(entry),
+    }
 }
 
-fn check_equivalence(rl: &RandomLoop, opt: OptConfig, label: &str) -> Result<(), TestCaseError> {
+fn check_equivalence(rl: &RandomLoop, opt: OptConfig, label: &str, seed: u64) {
     let mut reference = Interpreter::new();
     reference.run(&rl.program, u64::MAX);
     let expected = reference.arch_state();
@@ -141,41 +156,51 @@ fn check_equivalence(rl: &RandomLoop, opt: OptConfig, label: &str) -> Result<(),
     config.formation.cold_threshold = 2;
     let mut sys = DynOptSystem::new(rl.program.clone(), config);
     sys.run_to_completion(u64::MAX);
-    prop_assert_eq!(
+    assert_eq!(
         sys.interp().arch_state(),
         expected,
-        "{} diverged from interpretation",
-        label
+        "seed {seed}: {label} diverged from interpretation"
     );
-    prop_assert!(sys.stats().regions_formed >= 1);
-    Ok(())
+    assert!(sys.stats().regions_formed >= 1, "seed {seed}: {label}");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    #[test]
-    fn random_loops_are_bit_exact_under_smarq(rl in random_loop()) {
-        check_equivalence(&rl, OptConfig::smarq(64), "smarq64")?;
-        check_equivalence(&rl, OptConfig::smarq(8), "smarq8")?;
+#[test]
+fn random_loops_are_bit_exact_under_smarq() {
+    for seed in 0..CASES {
+        let rl = random_loop(&mut Prng::new(seed));
+        check_equivalence(&rl, OptConfig::smarq(64), "smarq64", seed);
+        check_equivalence(&rl, OptConfig::smarq(8), "smarq8", seed);
     }
+}
 
-    #[test]
-    fn random_loops_are_bit_exact_under_other_hardware(rl in random_loop()) {
-        check_equivalence(&rl, OptConfig::alat(), "alat")?;
-        check_equivalence(&rl, OptConfig::efficeon(), "efficeon")?;
-        check_equivalence(&rl, OptConfig::no_alias_hw(), "none")?;
-        check_equivalence(&rl, OptConfig::smarq_no_store_reorder(64), "no-st-reorder")?;
+#[test]
+fn random_loops_are_bit_exact_under_other_hardware() {
+    for seed in 1000..1000 + CASES {
+        let rl = random_loop(&mut Prng::new(seed));
+        check_equivalence(&rl, OptConfig::alat(), "alat", seed);
+        check_equivalence(&rl, OptConfig::efficeon(), "efficeon", seed);
+        check_equivalence(&rl, OptConfig::no_alias_hw(), "none", seed);
+        check_equivalence(
+            &rl,
+            OptConfig::smarq_no_store_reorder(64),
+            "no-st-reorder",
+            seed,
+        );
     }
+}
 
-    /// The loop body also optimizes correctly as a *cold* program (pure
-    /// interpretation path) — a guard against profile-dependent bugs.
-    #[test]
-    fn random_loops_interpret_deterministically(rl in random_loop()) {
+/// The loop body also interprets deterministically — a guard against
+/// profile-dependent bugs.
+#[test]
+fn random_loops_interpret_deterministically() {
+    for seed in 2000..2000 + CASES {
+        let rl = random_loop(&mut Prng::new(seed));
         let mut a = Interpreter::new();
         a.run(&rl.program, u64::MAX);
         let mut b = Interpreter::new();
         b.run(&rl.program, u64::MAX);
-        prop_assert_eq!(a.arch_state(), b.arch_state());
+        assert_eq!(a.arch_state(), b.arch_state(), "seed {seed}");
     }
 }
