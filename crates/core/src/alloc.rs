@@ -947,3 +947,265 @@ pub fn allocate(
     }
     a.finish()
 }
+
+#[cfg(test)]
+mod tests {
+    //! Whitebox tests for the allocator internals. The integration tests in
+    //! `tests/allocator.rs` pin the observable output (AMOV/rotate streams,
+    //! P/C bits, offsets); these tests pin the *mechanics* that produce it:
+    //! holder redirection, edge retargeting, the `T` invariant around an
+    //! inserted AMOV, and the overflow estimate behind [`Allocator::mode`].
+
+    use super::*;
+    use crate::region::MemKind;
+    use crate::validate::validate_allocation;
+
+    /// The §5.2 constraint-cycle shape from `tests/allocator.rs`, scheduled
+    /// `c1, v, x, s, y[, s2]`. Returns `(region, schedule, x, y)`.
+    fn cycle_region(with_second_checker: bool) -> (RegionSpec, Vec<MemOpId>, MemOpId, MemOpId) {
+        let mut r = RegionSpec::new();
+        let c1 = r.push(MemKind::Store, 0);
+        let s = r.push(MemKind::Store, 1);
+        let s2 = with_second_checker.then(|| r.push(MemKind::Store, 2));
+        let x = r.push(MemKind::Load, 3);
+        let v = r.push(MemKind::Store, 4);
+        let z2 = r.push(MemKind::Load, 3);
+        let y = r.push(MemKind::Store, 5);
+        let z1 = r.push(MemKind::Load, 0);
+        r.set_may_alias(c1, x, true);
+        r.set_may_alias(s, x, true);
+        r.set_may_alias(x, v, true);
+        r.set_may_alias(v, z2, true);
+        r.set_may_alias(y, c1, true);
+        r.set_may_alias(y, z1, true);
+        r.set_may_alias(x, y, true);
+        r.set_may_alias(s, z2, false);
+        r.set_may_alias(c1, z2, false);
+        r.set_may_alias(y, z2, false);
+        if let Some(s2) = s2 {
+            r.set_may_alias(s2, x, true);
+            r.set_may_alias(s2, z2, false);
+            for other in [c1, s, v, y] {
+                r.set_may_alias(s2, other, false);
+            }
+        }
+        r.add_load_elim(x, z2);
+        r.add_load_elim(c1, z1);
+        let mut sched = vec![c1, v, x, s, y];
+        if let Some(s2) = s2 {
+            sched.push(s2);
+        }
+        (r, sched, x, y)
+    }
+
+    /// A moving AMOV must redirect the internal holder of `x` to the fresh
+    /// proxy node, retarget the unscheduled checker's check edge to it, and
+    /// re-establish the `T` invariant around the anti edge that closed the
+    /// cycle.
+    #[test]
+    fn moving_amov_redirects_holder_and_retargets_checkers() {
+        let (r, sched, x, y) = cycle_region(true);
+        let deps = DepGraph::compute(&r);
+        let mut a = Allocator::new(&r, &deps, 64);
+        // Schedule everything up to and including y, which closes the cycle.
+        for &op in &sched[..sched.len() - 1] {
+            a.schedule_op(op).unwrap();
+        }
+
+        assert_eq!(a.amovs.len(), 1, "the cycle inserts exactly one AMOV");
+        let rec = a.amovs[0].clone();
+        assert!(rec.is_move, "s2 is still unscheduled: must be a real move");
+        assert_eq!(rec.moved, x);
+        assert_eq!(rec.src_node, x.index(), "x held its own range before");
+        assert!(
+            rec.self_node >= r.len(),
+            "the proxy is a fresh node, not a memory op"
+        );
+        assert!(
+            matches!(a.nodes[rec.self_node], NodeKind::Amov { moved } if moved == x),
+            "proxy node records which range it carries"
+        );
+
+        // Future anti logic must consult the proxy, which sets a register.
+        assert_eq!(a.holder[x.index()], rec.self_node);
+        assert!(a.p[rec.self_node]);
+        assert!(a.pending[rec.self_node]);
+
+        // T invariant restored: the anti edge proxy -> y is satisfied, and
+        // the retargeted checker sits strictly below the proxy.
+        assert!(a.t[rec.self_node] < a.t[y.index()]);
+        let s2 = *sched.last().unwrap();
+        let retargeted = a.out_edges[s2.index()]
+            .iter()
+            .any(|e| e.dst == rec.self_node && e.kind == EdgeKind::Check);
+        assert!(retargeted, "s2's check edge now points at the proxy");
+        assert!(
+            a.out_edges[s2.index()]
+                .iter()
+                .all(|e| e.dst != rec.src_node),
+            "no edge into the vacated register remains"
+        );
+        assert!(a.t[s2.index()] < a.t[rec.self_node]);
+
+        // The region still finishes into a valid allocation.
+        a.schedule_op(s2).unwrap();
+        let alloc = a.finish().unwrap();
+        validate_allocation(&r, &deps, &sched, &alloc).unwrap();
+    }
+
+    /// Without a surviving checker the AMOV degenerates to a clean-up: no
+    /// proxy register, no P bit, no pending allocation — but the holder is
+    /// still redirected so later antis see the range as gone.
+    #[test]
+    fn cleanup_amov_allocates_no_proxy_register() {
+        let (r, sched, x, _y) = cycle_region(false);
+        let deps = DepGraph::compute(&r);
+        let mut a = Allocator::new(&r, &deps, 64);
+        for &op in &sched {
+            a.schedule_op(op).unwrap();
+        }
+
+        assert_eq!(a.amovs.len(), 1);
+        let rec = a.amovs[0].clone();
+        assert!(!rec.is_move);
+        assert_eq!(a.holder[x.index()], rec.self_node);
+        assert!(!a.p[rec.self_node], "clean-up sets no register");
+        assert!(!a.pending[rec.self_node]);
+        assert!(
+            a.base[rec.self_node].is_none(),
+            "no delayed allocation queued for the proxy"
+        );
+
+        let alloc = a.finish().unwrap();
+        assert_eq!(alloc.stats().amov_moves, 0);
+        validate_allocation(&r, &deps, &sched, &alloc).unwrap();
+    }
+
+    /// Six independent store/load pairs; hoisting every load front-loads
+    /// six P registers.
+    fn pairs_region() -> (RegionSpec, Vec<MemOpId>, Vec<MemOpId>) {
+        let mut r = RegionSpec::new();
+        let mut stores = Vec::new();
+        let mut loads = Vec::new();
+        for i in 0..6 {
+            let st = r.push(MemKind::Store, i);
+            let ld = r.push(MemKind::Load, i);
+            r.set_may_alias(st, ld, true);
+            stores.push(st);
+            loads.push(ld);
+        }
+        (r, stores, loads)
+    }
+
+    /// The overflow estimate is sound: a scheduler that keeps speculating
+    /// past the `NonSpeculation` report does overflow, but the report
+    /// always arrives strictly before the overflowing `schedule_op` call.
+    #[test]
+    fn overflow_estimate_warns_before_the_file_overflows() {
+        let (r, stores, loads) = pairs_region();
+        let deps = DepGraph::compute(&r);
+        let mut a = Allocator::new(&r, &deps, 4);
+
+        let mut warned_at = None;
+        for (k, &ld) in loads.iter().enumerate() {
+            if warned_at.is_none() && a.mode() == SchedulerMode::NonSpeculation {
+                warned_at = Some(k);
+            }
+            a.schedule_op(ld).unwrap();
+        }
+        // Each pending hoisted load will occupy one P register: the
+        // estimate flips exactly when they would fill the file.
+        assert_eq!(warned_at, Some(4));
+
+        // Ignore the warning and keep the schedule: the checking stores
+        // force the delayed allocations past the file size.
+        let mut overflowed = false;
+        for &st in &stores {
+            if a.mode() == SchedulerMode::NonSpeculation {
+                assert!(!overflowed);
+            }
+            match a.schedule_op(st) {
+                Ok(()) => {}
+                Err(AllocError::Overflow { num_regs, .. }) => {
+                    assert_eq!(num_regs, 4);
+                    overflowed = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e:?}"),
+            }
+        }
+        assert!(overflowed, "speculating past the estimate must overflow");
+    }
+
+    /// The intended driver contract (paper §5.3): hoist while the allocator
+    /// reports `Speculation`, fall back to program order once it reports
+    /// `NonSpeculation` — and the region then completes without overflow on
+    /// the same register file that overflowed above.
+    #[test]
+    fn mode_respecting_driver_falls_back_and_completes() {
+        let (r, stores, loads) = pairs_region();
+        let deps = DepGraph::compute(&r);
+        let mut a = Allocator::new(&r, &deps, 4);
+
+        let mut sched = Vec::new();
+        let mut hoisted = 0;
+        while hoisted < loads.len() && a.mode() == SchedulerMode::Speculation {
+            a.schedule_op(loads[hoisted]).unwrap();
+            sched.push(loads[hoisted]);
+            hoisted += 1;
+        }
+        assert!(
+            (1..loads.len()).contains(&hoisted),
+            "estimate must allow some hoisting and stop some ({hoisted})"
+        );
+
+        // Non-speculation: the remaining ops in plain program order.
+        for i in 0..stores.len() {
+            a.schedule_op(stores[i]).unwrap();
+            sched.push(stores[i]);
+            if i >= hoisted {
+                a.schedule_op(loads[i]).unwrap();
+                sched.push(loads[i]);
+            }
+        }
+        let alloc = a.finish().unwrap();
+        assert!(alloc.working_set() <= 4);
+        validate_allocation(&r, &deps, &sched, &alloc).unwrap();
+    }
+
+    /// Extended (backward) dependences put a P bit on their target even in
+    /// a program-order schedule; the estimate must count them before any op
+    /// is scheduled, and stop counting them once the target is scheduled.
+    #[test]
+    fn overflow_estimate_counts_extended_p_targets() {
+        // Figure 5 shape: the store m3 checks the forwarding load m2
+        // through the eliminated m5 — an extended dep running backward.
+        let mut r = RegionSpec::new();
+        let m1 = r.push(MemKind::Load, 1);
+        let m2 = r.push(MemKind::Load, 2);
+        let m3 = r.push(MemKind::Store, 3);
+        let m4 = r.push(MemKind::Store, 4);
+        let m5 = r.push(MemKind::Load, 2);
+        r.set_may_alias(m3, m2, true);
+        r.set_may_alias(m3, m5, true);
+        r.set_may_alias(m4, m1, true);
+        r.add_load_elim(m2, m5);
+        let deps = DepGraph::compute(&r);
+
+        let a = Allocator::new(&r, &deps, 1);
+        assert_eq!(a.unscheduled_ext_p, 1, "m2 needs a P register regardless");
+        assert_eq!(a.mode(), SchedulerMode::NonSpeculation);
+
+        // Two registers absorb it; the counter drains as m2 is scheduled.
+        let mut a = Allocator::new(&r, &deps, 2);
+        assert_eq!(a.mode(), SchedulerMode::Speculation);
+        a.schedule_op(m1).unwrap();
+        a.schedule_op(m2).unwrap();
+        assert_eq!(a.unscheduled_ext_p, 0);
+        for op in [m3, m4] {
+            a.schedule_op(op).unwrap();
+        }
+        let alloc = a.finish().unwrap();
+        validate_allocation(&r, &deps, &[m1, m2, m3, m4], &alloc).unwrap();
+    }
+}

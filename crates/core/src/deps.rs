@@ -91,8 +91,12 @@ impl DepGraph {
         // store. Candidate pairs: same-`loc_class` pairs (aliasing by
         // default; the bit-matrix probe rejects overridden-false ones) plus
         // cross-class pairs forced aliasing by an override.
+        let inject_drop = crate::fault::drop_plain_deps_enabled();
         let mut plain = |i: u32, j: u32| {
             debug_assert!(i < j);
+            if inject_drop && crate::fault::drops_pair(i, j) {
+                return;
+            }
             let (x, y) = (MemOpId::new(i as usize), MemOpId::new(j as usize));
             if !live(x) || !live(y) {
                 return;

@@ -1,0 +1,49 @@
+//! Deliberate fault injection for testing the testers.
+//!
+//! The fuzzer in `crates/fuzz` layers differential oracles over the
+//! optimizer; a green run only means something if the oracles *would*
+//! catch a real constraint-analysis bug. This module provides the
+//! mutation used for that sanity check: a process-wide switch that makes
+//! [`crate::DepGraph::compute`]'s sealed fast path silently drop a
+//! deterministic subset of plain `DEPENDENCE` edges — exactly the class
+//! of bug (a missed may-alias pair) SMARQ's constraint discipline exists
+//! to prevent. The naive all-pairs oracle
+//! [`crate::DepGraph::compute_naive`] is *not* affected, so the layered
+//! oracles must flag the divergence.
+//!
+//! The switch is off by default and is only ever enabled by tests and by
+//! `smarq fuzz --inject-fault`. It can be set programmatically
+//! ([`set_drop_plain_deps`]) or, for whole-process injection across a
+//! binary we do not otherwise control, via the `SMARQ_FAULT_DROP_DEPS`
+//! environment variable (any non-empty value, read once).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+static FORCED: AtomicBool = AtomicBool::new(false);
+static FROM_ENV: OnceLock<bool> = OnceLock::new();
+
+/// Enables (or disables) dropping of plain dependence edges in the sealed
+/// fast path of [`crate::DepGraph::compute`]. Takes effect process-wide;
+/// tests using it should run in their own integration-test binary so they
+/// cannot race with unrelated tests.
+pub fn set_drop_plain_deps(on: bool) {
+    FORCED.store(on, Ordering::SeqCst);
+}
+
+/// `true` when the plain-dependence-dropping fault is active, either via
+/// [`set_drop_plain_deps`] or the `SMARQ_FAULT_DROP_DEPS` environment
+/// variable (checked once, non-empty value enables).
+pub fn drop_plain_deps_enabled() -> bool {
+    FORCED.load(Ordering::SeqCst)
+        || *FROM_ENV.get_or_init(|| {
+            std::env::var_os("SMARQ_FAULT_DROP_DEPS").is_some_and(|v| !v.is_empty())
+        })
+}
+
+/// The deterministic subset of pairs the fault suppresses: drop the plain
+/// edge for roughly a third of candidate pairs. Public so the fuzzer's
+/// mutation-sanity test can reason about which regions are affected.
+pub fn drops_pair(i: u32, j: u32) -> bool {
+    (i + j).is_multiple_of(3)
+}

@@ -68,6 +68,7 @@ pub mod baseline;
 pub mod constraints;
 pub mod deps;
 pub mod error;
+pub mod fault;
 pub mod ids;
 pub mod lower_bound;
 pub mod prng;

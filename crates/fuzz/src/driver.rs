@@ -1,0 +1,105 @@
+//! The fuzz campaign loop shared by the `smarq fuzz` CLI and the
+//! in-tree smoke/mutation tests: generate → oracle → minimize → record.
+
+use crate::corpus::Repro;
+use crate::gen::{generate, FuzzParams};
+use crate::minimize::minimize;
+use crate::oracle::{check_program, Divergence, OracleParams};
+use std::time::{Duration, Instant};
+
+/// Campaign configuration.
+#[derive(Clone, Debug)]
+pub struct CampaignParams {
+    /// First generator seed; case `i` uses `seed + i`.
+    pub seed: u64,
+    /// Maximum cases to run.
+    pub cases: u64,
+    /// Optional wall-clock budget; the campaign stops at whichever of
+    /// `cases`/`budget` is hit first.
+    pub budget: Option<Duration>,
+    /// Stop after this many captured repros.
+    pub max_repros: usize,
+    /// Generator bounds.
+    pub gen: FuzzParams,
+    /// Oracle budgets.
+    pub oracle: OracleParams,
+    /// Predicate-evaluation budget per minimization.
+    pub minimize_attempts: usize,
+}
+
+impl Default for CampaignParams {
+    fn default() -> Self {
+        CampaignParams {
+            seed: 0,
+            cases: u64::MAX,
+            budget: Some(Duration::from_secs(60)),
+            max_repros: 8,
+            gen: FuzzParams::default(),
+            oracle: OracleParams::default(),
+            minimize_attempts: 400,
+        }
+    }
+}
+
+/// What a campaign did.
+#[derive(Debug, Default)]
+pub struct CampaignOutcome {
+    /// Cases generated and checked.
+    pub cases_run: u64,
+    /// Cases skipped as non-terminating.
+    pub skipped: u64,
+    /// Minimized repros, one per diverging seed.
+    pub repros: Vec<Repro>,
+}
+
+/// Runs a fuzz campaign; `progress` receives human-readable event lines.
+pub fn run_campaign(params: &CampaignParams, mut progress: impl FnMut(String)) -> CampaignOutcome {
+    let start = Instant::now();
+    let mut outcome = CampaignOutcome::default();
+    for case in 0..params.cases {
+        if let Some(budget) = params.budget {
+            if start.elapsed() >= budget {
+                progress(format!("budget exhausted after {case} cases"));
+                break;
+            }
+        }
+        if outcome.repros.len() >= params.max_repros {
+            progress(format!("repro limit reached after {case} cases"));
+            break;
+        }
+        let seed = params.seed.wrapping_add(case);
+        let program = generate(seed, &params.gen);
+        outcome.cases_run += 1;
+        match check_program(&program, &params.oracle) {
+            Ok(_) => {}
+            Err(Divergence::Nontermination) => outcome.skipped += 1,
+            Err(first) => {
+                progress(format!("seed {seed}: {first}"));
+                let oracle = params.oracle;
+                let min = minimize(
+                    &program,
+                    |candidate| matches!(check_program(candidate, &oracle), Err(d) if d.is_failure()),
+                    params.minimize_attempts,
+                );
+                // Re-run the oracle on the minimized program: minimization
+                // may have walked the failure to a different (still real)
+                // divergence; the corpus header records the final one.
+                let divergence = match check_program(&min.program, &oracle) {
+                    Err(d) if d.is_failure() => d.to_string(),
+                    _ => first.to_string(),
+                };
+                progress(format!(
+                    "seed {seed}: minimized {} -> {} ops in {} attempts",
+                    min.original_ops, min.final_ops, min.attempts
+                ));
+                outcome.repros.push(Repro {
+                    seed,
+                    divergence,
+                    original_ops: min.original_ops,
+                    program: min.program,
+                });
+            }
+        }
+    }
+    outcome
+}

@@ -1,0 +1,206 @@
+//! Delta-debugging minimization of a failing guest program.
+//!
+//! Classic ddmin over the flattened straight-line instruction list
+//! (terminators are never touched, so candidate programs stay
+//! well-formed), followed by a constant-shrinking pass that walks
+//! `iconst` immediates toward zero — loop trip counts shrink with them.
+//! A candidate is kept only when the caller's predicate still fails on
+//! it, so edits that break termination (e.g. deleting a loop increment)
+//! are naturally rejected: the oracle reports those as a skip, not a
+//! failure.
+
+use smarq_guest::{Block, BlockId, Instr, Program};
+
+/// Result of a [`minimize`] run.
+#[derive(Clone, Debug)]
+pub struct Minimized {
+    /// The smallest failing program found.
+    pub program: Program,
+    /// Static instructions before minimization.
+    pub original_ops: usize,
+    /// Static instructions after minimization.
+    pub final_ops: usize,
+    /// Predicate evaluations spent.
+    pub attempts: usize,
+}
+
+fn blocks_of(p: &Program) -> Vec<Block> {
+    (0..p.num_blocks())
+        .map(|i| p.block(BlockId(i as u32)).clone())
+        .collect()
+}
+
+fn rebuild(p: &Program, blocks: Vec<Block>) -> Program {
+    Program::with_data(blocks, p.entry(), p.data().to_vec())
+}
+
+/// All (block, instruction) coordinates, in program order.
+fn coords(blocks: &[Block]) -> Vec<(usize, usize)> {
+    blocks
+        .iter()
+        .enumerate()
+        .flat_map(|(bi, b)| (0..b.instrs.len()).map(move |ii| (bi, ii)))
+        .collect()
+}
+
+/// `blocks` minus the coordinates in `remove` (which must be sorted).
+fn without(blocks: &[Block], remove: &[(usize, usize)]) -> Vec<Block> {
+    let mut out = blocks.to_vec();
+    // Delete from the back so earlier indices stay valid.
+    for &(bi, ii) in remove.iter().rev() {
+        out[bi].instrs.remove(ii);
+    }
+    out
+}
+
+/// Shrinks `program` while `still_failing` holds, spending at most
+/// `max_attempts` predicate evaluations.
+pub fn minimize(
+    program: &Program,
+    mut still_failing: impl FnMut(&Program) -> bool,
+    max_attempts: usize,
+) -> Minimized {
+    let original_ops = program.static_instrs();
+    let mut blocks = blocks_of(program);
+    let mut attempts = 0usize;
+
+    // Phase 1: ddmin over the instruction list.
+    let mut chunk = coords(&blocks).len().max(1).div_ceil(2);
+    while chunk >= 1 && attempts < max_attempts {
+        let mut removed_any = false;
+        let mut start = 0;
+        loop {
+            let cs = coords(&blocks);
+            if start >= cs.len() {
+                break;
+            }
+            if attempts >= max_attempts {
+                break;
+            }
+            let end = (start + chunk).min(cs.len());
+            let candidate_blocks = without(&blocks, &cs[start..end]);
+            let candidate = rebuild(program, candidate_blocks.clone());
+            attempts += 1;
+            if still_failing(&candidate) {
+                blocks = candidate_blocks;
+                removed_any = true;
+                // Same `start`: the list shifted left under us.
+            } else {
+                start = end;
+            }
+        }
+        if !removed_any {
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+    }
+
+    // Phase 2: shrink integer immediates (loop bounds, addresses offsets)
+    // toward zero by halving.
+    let mut progress = true;
+    while progress && attempts < max_attempts {
+        progress = false;
+        for (bi, ii) in coords(&blocks) {
+            if attempts >= max_attempts {
+                break;
+            }
+            let Instr::IConst { rd, value } = blocks[bi].instrs[ii] else {
+                continue;
+            };
+            if value == 0 {
+                continue;
+            }
+            for smaller in [0, value / 2] {
+                if smaller == value {
+                    continue;
+                }
+                let mut cand = blocks.clone();
+                cand[bi].instrs[ii] = Instr::IConst { rd, value: smaller };
+                attempts += 1;
+                if still_failing(&rebuild(program, cand.clone())) {
+                    blocks = cand;
+                    progress = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    let out = rebuild(program, blocks);
+    Minimized {
+        original_ops,
+        final_ops: out.static_instrs(),
+        program: out,
+        attempts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smarq_guest::{AluOp, ProgramBuilder, Reg};
+
+    /// A loop whose "bug" is the presence of a store to 0x2000; everything
+    /// else is noise the minimizer must strip.
+    fn noisy_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let entry = b.block();
+        let body = b.block();
+        let done = b.block();
+        b.iconst(entry, Reg(1), 0);
+        b.iconst(entry, Reg(2), 50);
+        b.iconst(entry, Reg(10), 0x2000);
+        b.iconst(entry, Reg(11), 0x3000);
+        b.jump(entry, body);
+        for _ in 0..6 {
+            b.alu(body, AluOp::Add, Reg(16), Reg(16), Reg(17));
+            b.ld(body, Reg(18), Reg(11), 8);
+        }
+        b.st(body, Reg(16), Reg(10), 0);
+        b.alu_imm(body, AluOp::Add, Reg(1), Reg(1), 1);
+        b.branch(body, smarq_guest::CmpOp::Lt, Reg(1), Reg(2), body, done);
+        b.halt(done);
+        b.finish(entry)
+    }
+
+    fn has_store(p: &Program) -> bool {
+        p.iter()
+            .any(|(_, b)| b.instrs.iter().any(|i| matches!(i, Instr::St { .. })))
+    }
+
+    #[test]
+    fn strips_noise_around_the_failure() {
+        let p = noisy_program();
+        let m = minimize(&p, has_store, 10_000);
+        assert!(has_store(&m.program), "minimization lost the failure");
+        assert!(
+            m.final_ops <= 2,
+            "expected near-minimal program, got {} ops",
+            m.final_ops
+        );
+        assert!(m.final_ops < m.original_ops);
+        assert_eq!(m.original_ops, p.static_instrs());
+    }
+
+    #[test]
+    fn respects_the_attempt_budget() {
+        let p = noisy_program();
+        let m = minimize(&p, has_store, 3);
+        assert!(m.attempts <= 3);
+        assert!(has_store(&m.program));
+    }
+
+    #[test]
+    fn shrinks_immediates() {
+        let p = noisy_program();
+        let m = minimize(&p, has_store, 10_000);
+        let big_const = m.program.iter().any(|(_, b)| {
+            b.instrs
+                .iter()
+                .any(|i| matches!(i, Instr::IConst { value, .. } if *value > 1))
+        });
+        assert!(!big_const, "immediates not shrunk: {:?}", m.program);
+    }
+}

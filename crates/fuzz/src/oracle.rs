@@ -1,0 +1,366 @@
+//! Layered differential oracles.
+//!
+//! One fuzz case is checked at three layers, cheapest evidence last:
+//!
+//! 1. **End-to-end** — a pure [`Interpreter`] run is the reference; the
+//!    full [`DynOptSystem`] must reproduce the architectural state
+//!    bit-exactly under every hardware scheme.
+//! 2. **Allocation validation** — every superblock the system formed is
+//!    re-optimized through [`smarq_opt::optimize_superblock_traced`] and
+//!    the resulting allocation is replayed symbolically by
+//!    [`validate_allocation`] (soundness, precision, mechanics).
+//! 3. **Fast-path differentials** — on the same live regions,
+//!    [`DepGraph::compute`] vs [`DepGraph::compute_naive`] edge sets, and
+//!    [`AliasQueue::check_first`] vs the full-scan
+//!    [`AliasQueue::check`] at every C-bit instruction of the allocated
+//!    code.
+//!
+//! The layering is the point: a consistent-but-wrong analysis (e.g. the
+//! injected fault of `smarq::fault`) slips past the validator — which is
+//! fed the same wrong dependences — but cannot slip past the differential
+//! or the end-to-end state check.
+
+use smarq::queue::AliasQueue;
+use smarq::validate::validate_allocation;
+use smarq::{AliasCode, AllocScratch, Dep, DepGraph, MemOpId};
+use smarq_guest::{ArchState, Interpreter, Program, RunOutcome};
+use smarq_opt::{optimize_superblock_traced, OptConfig};
+use smarq_runtime::{DynOptSystem, SystemConfig};
+
+/// Oracle budgets and system knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct OracleParams {
+    /// Guest-instruction budget for the reference interpreter; a program
+    /// that does not halt within it is reported as
+    /// [`Divergence::Nontermination`] (a skip, not a failure).
+    pub interp_budget: u64,
+    /// Execution count at which the system considers a block hot (kept
+    /// low so short fuzz programs actually form regions).
+    pub hot_threshold: u64,
+    /// Unroll factor for the optimized systems (larger regions exercise
+    /// more alias registers).
+    pub unroll_factor: u32,
+}
+
+impl Default for OracleParams {
+    fn default() -> Self {
+        OracleParams {
+            interp_budget: 2_000_000,
+            hot_threshold: 10,
+            unroll_factor: 1,
+        }
+    }
+}
+
+/// The hardware schemes every case is checked under.
+pub fn schemes() -> [(&'static str, OptConfig); 6] {
+    [
+        ("smarq64", OptConfig::smarq(64)),
+        ("smarq8", OptConfig::smarq(8)),
+        ("smarq_nsr", OptConfig::smarq_no_store_reorder(64)),
+        ("efficeon", OptConfig::efficeon()),
+        ("alat", OptConfig::alat()),
+        ("none", OptConfig::no_alias_hw()),
+    ]
+}
+
+/// A divergence found by one of the oracle layers.
+#[derive(Clone, Debug)]
+pub enum Divergence {
+    /// The reference interpreter exhausted its budget; the case carries no
+    /// signal and is skipped (the minimizer also uses this to reject edits
+    /// that break termination).
+    Nontermination,
+    /// Layer 1: optimized execution left different architectural state.
+    ArchMismatch {
+        /// Scheme label from [`schemes`].
+        scheme: &'static str,
+        /// First differing locations.
+        detail: String,
+    },
+    /// Layer 2: the symbolic validator rejected a produced allocation.
+    ValidatorReject {
+        /// Scheme label.
+        scheme: &'static str,
+        /// Region index in formation order.
+        region: usize,
+        /// The validator's error.
+        detail: String,
+    },
+    /// Layer 3: fast dependence analysis disagrees with the naive oracle.
+    DepGraphMismatch {
+        /// Scheme label.
+        scheme: &'static str,
+        /// Region index in formation order.
+        region: usize,
+        /// Edge-set difference summary.
+        detail: String,
+    },
+    /// Layer 3: `check_first` disagrees with the full-scan `check`.
+    QueueMismatch {
+        /// Scheme label.
+        scheme: &'static str,
+        /// Region index in formation order.
+        region: usize,
+        /// The disagreeing check.
+        detail: String,
+    },
+}
+
+impl Divergence {
+    /// Short stable label for reports and corpus headers.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Divergence::Nontermination => "nontermination",
+            Divergence::ArchMismatch { .. } => "arch-mismatch",
+            Divergence::ValidatorReject { .. } => "validator-reject",
+            Divergence::DepGraphMismatch { .. } => "depgraph-mismatch",
+            Divergence::QueueMismatch { .. } => "queue-mismatch",
+        }
+    }
+
+    /// `true` for real failures (everything except a skipped
+    /// non-terminating case).
+    pub fn is_failure(&self) -> bool {
+        !matches!(self, Divergence::Nontermination)
+    }
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Divergence::Nontermination => write!(f, "nontermination (skipped)"),
+            Divergence::ArchMismatch { scheme, detail } => {
+                write!(f, "arch-mismatch under {scheme}: {detail}")
+            }
+            Divergence::ValidatorReject {
+                scheme,
+                region,
+                detail,
+            } => write!(
+                f,
+                "validator-reject under {scheme} region {region}: {detail}"
+            ),
+            Divergence::DepGraphMismatch {
+                scheme,
+                region,
+                detail,
+            } => write!(
+                f,
+                "depgraph-mismatch under {scheme} region {region}: {detail}"
+            ),
+            Divergence::QueueMismatch {
+                scheme,
+                region,
+                detail,
+            } => write!(f, "queue-mismatch under {scheme} region {region}: {detail}"),
+        }
+    }
+}
+
+/// What a green oracle run covered.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OracleReport {
+    /// Schemes executed end to end.
+    pub schemes: usize,
+    /// Regions whose traces passed layers 2 and 3.
+    pub regions_checked: usize,
+    /// Allocations replayed by the validator.
+    pub allocations_validated: usize,
+}
+
+fn arch_diff(expected: &ArchState, got: &ArchState) -> String {
+    for i in 0..32 {
+        if expected.regs[i] != got.regs[i] {
+            return format!("r{i}: expected {}, got {}", expected.regs[i], got.regs[i]);
+        }
+    }
+    for i in 0..32 {
+        if expected.fregs[i] != got.fregs[i] {
+            return format!(
+                "f{i}: expected {:#x}, got {:#x}",
+                expected.fregs[i], got.fregs[i]
+            );
+        }
+    }
+    "memory contents differ".to_string()
+}
+
+fn dep_key(d: &Dep) -> (MemOpId, MemOpId, u8) {
+    (d.src, d.dst, d.kind as u8)
+}
+
+/// Runs all oracle layers over `program`.
+///
+/// # Errors
+/// The first [`Divergence`] found, layer by layer per scheme.
+pub fn check_program(program: &Program, params: &OracleParams) -> Result<OracleReport, Divergence> {
+    // Layer 0: the reference run.
+    let mut reference = Interpreter::new();
+    if reference.run(program, params.interp_budget) == RunOutcome::BudgetExhausted {
+        return Err(Divergence::Nontermination);
+    }
+    let expected = reference.arch_state();
+
+    let mut report = OracleReport::default();
+    let mut scratch = AllocScratch::new();
+    for (label, opt) in schemes() {
+        let mut cfg = SystemConfig::with_opt(opt.clone());
+        cfg.hot_threshold = params.hot_threshold;
+        cfg.unroll_factor = params.unroll_factor;
+        let mut sys = DynOptSystem::new(program.clone(), cfg.clone());
+        sys.run_to_completion(u64::MAX);
+        report.schemes += 1;
+
+        // Layer 1: bit-exact architectural state.
+        let got = sys.interp().arch_state();
+        if got != expected {
+            return Err(Divergence::ArchMismatch {
+                scheme: label,
+                detail: arch_diff(&expected, &got),
+            });
+        }
+
+        // Layers 2 and 3 over every region the system actually formed.
+        for (region, sb) in sys.formed_superblocks().enumerate() {
+            let (_, trace) =
+                optimize_superblock_traced(sb, &opt, &cfg.machine, sys.blacklist(), &mut scratch);
+
+            // Layer 3a: dependence fast path vs naive oracle.
+            let mut fast: Vec<_> = DepGraph::compute(&trace.spec).iter().collect();
+            let mut naive: Vec<_> = DepGraph::compute_naive(&trace.spec).iter().collect();
+            fast.sort_by_key(dep_key);
+            naive.sort_by_key(dep_key);
+            if fast != naive {
+                let missing: Vec<_> = naive.iter().filter(|d| !fast.contains(d)).collect();
+                let extra: Vec<_> = fast.iter().filter(|d| !naive.contains(d)).collect();
+                return Err(Divergence::DepGraphMismatch {
+                    scheme: label,
+                    region,
+                    detail: format!(
+                        "{} edges missing from fast path {missing:?}, {} extra {extra:?}",
+                        missing.len(),
+                        extra.len()
+                    ),
+                });
+            }
+
+            if let Some(alloc) = &trace.allocation {
+                // Layer 2: symbolic replay of the allocation.
+                if let Err(e) =
+                    validate_allocation(&trace.spec, &trace.deps, &trace.mem_schedule, alloc)
+                {
+                    return Err(Divergence::ValidatorReject {
+                        scheme: label,
+                        region,
+                        detail: format!("{e:?}"),
+                    });
+                }
+                report.allocations_validated += 1;
+
+                // Layer 3b: check_first vs full-scan check, replaying the
+                // allocated alias code on a live queue.
+                queue_differential(alloc, label, region)?;
+            }
+            report.regions_checked += 1;
+        }
+    }
+    Ok(report)
+}
+
+/// Replays `alloc`'s alias code on an [`AliasQueue`] and compares the
+/// bitmask fast path against the full scan at every C-bit instruction.
+fn queue_differential(
+    alloc: &smarq::Allocation,
+    scheme: &'static str,
+    region: usize,
+) -> Result<(), Divergence> {
+    let num_regs = alloc.working_set().max(1);
+    let mut queue: AliasQueue<MemOpId> = AliasQueue::new(num_regs);
+    let err = |detail: String| Divergence::QueueMismatch {
+        scheme,
+        region,
+        detail,
+    };
+    for code in alloc.code() {
+        match *code {
+            AliasCode::Op {
+                id,
+                p_bit,
+                c_bit,
+                offset,
+            } => {
+                let Some(offset) = offset else { continue };
+                // The allocator does not record load/store kinds in the
+                // code stream; exercising both polarities subsumes the
+                // real one and doubles the differential coverage.
+                for is_load in [false, true] {
+                    if c_bit {
+                        let full = queue
+                            .check(offset.value(), is_load, |_| true)
+                            .map_err(|e| err(format!("full scan overflowed at {}", e.offset)))?;
+                        let first = queue
+                            .check_first(offset.value(), is_load, |_| true)
+                            .map_err(|e| err(format!("fast scan overflowed at {}", e.offset)))?;
+                        if first != full.first().copied() {
+                            return Err(err(format!(
+                                "op {id:?} from offset {}: check_first={first:?} \
+                                 but full scan starts {:?}",
+                                offset.value(),
+                                full.first()
+                            )));
+                        }
+                    }
+                }
+                if p_bit {
+                    queue
+                        .set(offset.value(), id, false)
+                        .map_err(|e| err(format!("set overflowed at {}", e.offset)))?;
+                }
+            }
+            AliasCode::Amov(amov) => {
+                queue
+                    .amov(amov.src_offset.value(), amov.dst_offset.value())
+                    .map_err(|e| err(format!("amov overflowed at {}", e.offset)))?;
+            }
+            AliasCode::Rotate(r) => {
+                queue
+                    .rotate(r.amount)
+                    .map_err(|e| err(format!("rotate overflowed at {}", e.offset)))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, FuzzParams};
+
+    #[test]
+    fn clean_code_passes_all_layers() {
+        let p = generate(1, &FuzzParams::default());
+        let report = check_program(&p, &OracleParams::default()).expect("no divergence");
+        assert_eq!(report.schemes, 6);
+        assert!(report.regions_checked > 0, "no regions formed");
+        assert!(report.allocations_validated > 0, "no allocations replayed");
+    }
+
+    #[test]
+    fn nontermination_is_reported_as_skip() {
+        // Trip count 1 loop but with a tiny budget: the reference cannot
+        // finish, so the oracle must skip rather than fail.
+        let p = generate(2, &FuzzParams::default());
+        let d = check_program(
+            &p,
+            &OracleParams {
+                interp_budget: 3,
+                ..OracleParams::default()
+            },
+        )
+        .unwrap_err();
+        assert!(!d.is_failure());
+        assert_eq!(d.kind(), "nontermination");
+    }
+}

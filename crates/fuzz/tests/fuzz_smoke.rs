@@ -1,0 +1,43 @@
+//! Clean-oracle smoke sweep: a deterministic slice of the fuzz campaign
+//! runs in every `cargo test`, scaled by `SMARQ_TEST_SCALE` for soak
+//! runs.
+
+use smarq_fuzz::{check_program, generate, Divergence, FuzzParams, OracleParams};
+use smarq_workloads::scaled_count;
+
+#[test]
+fn seeded_sweep_stays_green() {
+    let cases = scaled_count(24);
+    let params = FuzzParams::default();
+    let oracle = OracleParams::default();
+    let mut skipped = 0;
+    for seed in 0..cases {
+        match check_program(&generate(seed, &params), &oracle) {
+            Ok(report) => assert_eq!(report.schemes, 6),
+            Err(Divergence::Nontermination) => skipped += 1,
+            Err(d) => panic!("seed {seed}: {d}"),
+        }
+    }
+    assert!(
+        skipped * 2 < cases,
+        "generator wastes the budget: {skipped}/{cases} nonterminating"
+    );
+}
+
+#[test]
+fn stress_shapes_stay_green() {
+    // Tight pools + small register files are the AMOV/overflow stress
+    // corner; keep a couple of bigger bodies in every run.
+    let params = FuzzParams {
+        max_body_ops: 48,
+        max_iters: 64,
+        max_pool: 2,
+    };
+    let oracle = OracleParams::default();
+    for seed in 1000..1000 + scaled_count(6) {
+        match check_program(&generate(seed, &params), &oracle) {
+            Ok(_) | Err(Divergence::Nontermination) => {}
+            Err(d) => panic!("seed {seed}: {d}"),
+        }
+    }
+}

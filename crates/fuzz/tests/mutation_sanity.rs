@@ -1,0 +1,51 @@
+//! Mutation sanity: prove the oracles can actually catch a bug.
+//!
+//! `smarq::fault::set_drop_plain_deps(true)` weakens the constraint
+//! analysis — the sealed fast path of `DepGraph::compute` silently drops
+//! a deterministic subset of plain dependence edges, exactly a
+//! missed-may-alias bug. The fuzzer must (1) find a divergence, (2)
+//! delta-debug it to a small repro, and (3) see the repro go green again
+//! once the fault is removed.
+//!
+//! The fault switch is process-wide, which is why this lives in its own
+//! integration-test binary: cargo gives it a dedicated process, so
+//! enabling the fault cannot race with unrelated tests.
+
+use smarq_fuzz::{check_program, run_campaign, CampaignParams, OracleParams};
+
+#[test]
+fn weakened_dependence_rule_is_caught_and_minimized() {
+    smarq::fault::set_drop_plain_deps(true);
+    let params = CampaignParams {
+        seed: 0,
+        cases: 200,
+        budget: None,
+        max_repros: 1,
+        minimize_attempts: 400,
+        ..CampaignParams::default()
+    };
+    let outcome = run_campaign(&params, |_| {});
+    smarq::fault::set_drop_plain_deps(false);
+
+    assert!(
+        !outcome.repros.is_empty(),
+        "oracles failed to catch the injected constraint weakening in {} cases",
+        outcome.cases_run
+    );
+    let repro = &outcome.repros[0];
+    assert!(
+        repro.program.static_instrs() <= 12,
+        "minimization stalled at {} ops (from {}):\n{}",
+        repro.program.static_instrs(),
+        repro.original_ops,
+        repro.render()
+    );
+    assert!(
+        repro.program.static_instrs() < repro.original_ops,
+        "minimizer made no progress"
+    );
+
+    // On unmodified code the minimized repro must replay green.
+    check_program(&repro.program, &OracleParams::default())
+        .expect("repro diverges only under the injected fault");
+}

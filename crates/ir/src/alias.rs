@@ -37,17 +37,21 @@ pub struct MemRef {
 impl MemRef {
     /// Relation between two 8-byte accesses.
     pub fn relation(&self, other: &MemRef) -> AliasRel {
-        if self.base == other.base && self.version == other.version {
-            // Same base value: compare displaced 8-byte windows. The guest
-            // ISA accesses aligned words, so equality of aligned starts is
-            // a must-alias and disjoint windows never alias.
-            let a = self.disp & !7;
-            let b = other.disp & !7;
-            if a == b {
-                AliasRel::Must
-            } else {
-                AliasRel::No
-            }
+        if self.base != other.base || self.version != other.version {
+            return AliasRel::May;
+        }
+        // Same base value. The word actually accessed is `(base + disp) >>
+        // 3` and nothing pins the base's low bits at analysis time:
+        //  * equal displacements hit the same word for every base value;
+        //  * displacements 8+ bytes apart can never share a word;
+        //  * anything closer straddles a word boundary for *some* base
+        //    values, so folding displacements to aligned windows here
+        //    would mis-disambiguate unaligned pointers (found by the
+        //    differential fuzzer; see tests/corpus/seed_000012.s).
+        if self.disp == other.disp {
+            AliasRel::Must
+        } else if self.disp.abs_diff(other.disp) >= 8 {
+            AliasRel::No
         } else {
             AliasRel::May
         }
@@ -218,18 +222,24 @@ mod tests {
     }
 
     #[test]
-    fn sub_word_displacements_fold_to_words() {
-        let r1 = MemRef {
+    fn sub_word_displacements_depend_on_base_alignment() {
+        // With base = 8k the two accesses share a word; with base = 8k+4
+        // they do not. Absent alignment facts the analysis must say May in
+        // both directions — folding to aligned windows miscompiled
+        // unaligned pointers (caught by the differential fuzzer).
+        let at = |disp| MemRef {
             base: 1,
             version: 0,
-            disp: 1,
+            disp,
         };
-        let r2 = MemRef {
-            base: 1,
-            version: 0,
-            disp: 6,
-        };
-        assert_eq!(r1.relation(&r2), AliasRel::Must);
+        assert_eq!(at(1).relation(&at(6)), AliasRel::May);
+        assert_eq!(at(0).relation(&at(7)), AliasRel::May);
+        assert_eq!(at(12).relation(&at(16)), AliasRel::May);
+        // Equal displacements are Must for every base value; 8+ bytes
+        // apart can never share a word.
+        assert_eq!(at(6).relation(&at(6)), AliasRel::Must);
+        assert_eq!(at(0).relation(&at(8)), AliasRel::No);
+        assert_eq!(at(16).relation(&at(4)), AliasRel::No);
     }
 
     #[test]

@@ -87,6 +87,25 @@ pub struct Optimized {
     pub tag_origin: Vec<OpOrigin>,
 }
 
+/// The intermediate artifacts of one (successful) optimization attempt,
+/// exposed for external oracles: the fuzzer replays
+/// [`smarq::validate::validate_allocation`] and the differential
+/// dependence/queue checks over exactly the regions the optimizer
+/// produced, not synthetic ones.
+#[derive(Clone, Debug)]
+pub struct OptTrace {
+    /// The region view handed to the constraint analysis (after
+    /// eliminations were recorded).
+    pub spec: smarq::RegionSpec,
+    /// The dependence graph the allocator consumed.
+    pub deps: smarq::DepGraph,
+    /// Surviving memory operations in final scheduled order.
+    pub mem_schedule: Vec<smarq::MemOpId>,
+    /// The alias register allocation (`None` for hardware schemes without
+    /// an embedded allocator, e.g. ALAT or no-alias-support).
+    pub allocation: Option<smarq::Allocation>,
+}
+
 /// Optimizes one superblock for the configured hardware.
 ///
 /// On alias-register overflow the pipeline retries with progressively less
@@ -126,13 +145,30 @@ pub fn optimize_superblock_with_scratch(
     blacklist: &AliasBlacklist,
     scratch: &mut smarq::AllocScratch,
 ) -> Optimized {
+    optimize_superblock_traced(sb, config, machine, blacklist, scratch).0
+}
+
+/// Like [`optimize_superblock_with_scratch`], but also returns the
+/// [`OptTrace`] of the successful attempt so callers can replay external
+/// oracles (allocation validation, differential dependence checks) over
+/// the exact region/schedule/allocation the optimizer committed to.
+///
+/// # Panics
+/// Panics if `sb` fails [`Superblock::validate`] (caller bug).
+pub fn optimize_superblock_traced(
+    sb: &Superblock,
+    config: &OptConfig,
+    machine: &MachineConfig,
+    blacklist: &AliasBlacklist,
+    scratch: &mut smarq::AllocScratch,
+) -> (Optimized, OptTrace) {
     sb.validate().expect("well-formed superblock");
     let mut cfg = config.clone();
     for retry in 0..3u32 {
         match try_optimize(sb, &cfg, machine, blacklist, scratch) {
-            Ok(mut opt) => {
+            Ok((mut opt, trace)) => {
                 opt.stats.overflow_retries = retry;
-                return opt;
+                return (opt, trace);
             }
             Err(Overflowed) => {
                 if cfg.allow_spec_load_elim || cfg.allow_spec_store_elim {
@@ -157,7 +193,7 @@ fn try_optimize(
     machine: &MachineConfig,
     blacklist: &AliasBlacklist,
     scratch: &mut smarq::AllocScratch,
-) -> Result<Optimized, Overflowed> {
+) -> Result<(Optimized, OptTrace), Overflowed> {
     let analysis = AliasAnalysis::new(sb);
     let (mut spec, map) = build_region_spec(sb, &analysis);
     let mut elims = elim::run_eliminations(sb, &analysis, &mut spec, &map, config, blacklist);
@@ -211,6 +247,15 @@ fn try_optimize(
         sched_ns,
         ..OptStats::default()
     };
+    // Surviving memory operations in final scheduled order (eliminated
+    // loads appear as copies in the work list; their original memory ids
+    // must not be resurrected here).
+    let mem_sched: Vec<_> = sched
+        .linear
+        .iter()
+        .filter(|&&k| work.ops[k].is_mem())
+        .filter_map(|&k| map.mem_id(work.orig[k]))
+        .collect();
     if let Some(alloc) = &sched.allocation {
         let s = alloc.stats();
         stats.checks = s.checks;
@@ -219,15 +264,6 @@ fn try_optimize(
         stats.amov_moves = s.amov_moves;
         stats.p_ops = s.p_ops;
         stats.working_set = alloc.working_set();
-        // Lower bound over the actually-scheduled memory operations
-        // (eliminated loads appear as copies in the work list; their
-        // original memory ids must not be resurrected here).
-        let mem_sched: Vec<_> = sched
-            .linear
-            .iter()
-            .filter(|&&k| work.ops[k].is_mem())
-            .filter_map(|&k| map.mem_id(work.orig[k]))
-            .collect();
         stats.lower_bound = smarq::live_range_lower_bound(&spec, &deps, &mem_sched);
     }
 
@@ -236,9 +272,17 @@ fn try_optimize(
         .map(|k| sb.origins[map.op_index(smarq::MemOpId::new(k))])
         .collect();
 
-    Ok(Optimized {
-        vliw,
-        stats,
-        tag_origin,
-    })
+    Ok((
+        Optimized {
+            vliw,
+            stats,
+            tag_origin,
+        },
+        OptTrace {
+            spec,
+            deps,
+            mem_schedule: mem_sched,
+            allocation: sched.allocation,
+        },
+    ))
 }

@@ -116,6 +116,9 @@ impl SystemStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{DynOptSystem, StopReason, SystemConfig};
+    use smarq_guest::{AluOp, CmpOp, Program, ProgramBuilder, Reg};
+    use smarq_opt::OptConfig;
 
     #[test]
     fn totals_and_ratios() {
@@ -131,5 +134,142 @@ mod tests {
         assert_eq!(s.guest_instrs(), 100);
         assert!((s.optimization_overhead() - 0.5).abs() < 1e-12);
         assert!((s.scheduling_overhead() - 0.2).abs() < 1e-12);
+    }
+
+    /// Counted loop whose load sits behind a store to a different (but
+    /// not provably different) address: the optimizer hoists the load and
+    /// the store checks it, so regions form, run, and scan alias entries.
+    fn counted_loop(iters: i64) -> Program {
+        let mut b = ProgramBuilder::new();
+        let entry = b.block();
+        let body = b.block();
+        let done = b.block();
+        b.iconst(entry, Reg(1), 0);
+        b.iconst(entry, Reg(2), iters);
+        b.iconst(entry, Reg(3), 0x1000);
+        b.iconst(entry, Reg(5), 0x2000);
+        b.jump(entry, body);
+        b.st(body, Reg(1), Reg(5), 0);
+        b.ld(body, Reg(4), Reg(3), 0); // never truly aliases the store
+        b.alu(body, AluOp::Add, Reg(4), Reg(4), Reg(1));
+        b.st(body, Reg(4), Reg(3), 0);
+        b.alu_imm(body, AluOp::Add, Reg(1), Reg(1), 1);
+        b.branch(body, CmpOp::Lt, Reg(1), Reg(2), body, done);
+        b.halt(done);
+        b.finish(entry)
+    }
+
+    /// Store and load of the same address through different registers: the
+    /// speculative schedule must fault, roll back and re-translate.
+    fn aliasing_loop(iters: i64) -> Program {
+        let mut b = ProgramBuilder::new();
+        let entry = b.block();
+        let body = b.block();
+        let done = b.block();
+        b.iconst(entry, Reg(1), 0);
+        b.iconst(entry, Reg(2), iters);
+        b.iconst(entry, Reg(3), 0x1000);
+        b.iconst(entry, Reg(5), 0x1000);
+        b.jump(entry, body);
+        b.st(body, Reg(1), Reg(3), 0);
+        b.ld(body, Reg(4), Reg(5), 0);
+        b.alu_imm(body, AluOp::Add, Reg(6), Reg(4), 0);
+        b.alu_imm(body, AluOp::Add, Reg(1), Reg(1), 1);
+        b.branch(body, CmpOp::Lt, Reg(1), Reg(2), body, done);
+        b.halt(done);
+        b.finish(entry)
+    }
+
+    fn run(p: Program, cfg: SystemConfig) -> SystemStats {
+        let mut sys = DynOptSystem::new(p, cfg);
+        assert_eq!(sys.run_to_completion(u64::MAX), StopReason::Halted);
+        sys.stats().clone()
+    }
+
+    /// Per-region records must sum to the global counters, and the
+    /// hot-threshold knob must shift work between the interpreter and the
+    /// translated regions.
+    #[test]
+    fn counters_account_for_promotion_and_entries() {
+        let hot = SystemConfig {
+            hot_threshold: 10,
+            ..SystemConfig::default()
+        };
+        let s = run(counted_loop(200), hot);
+
+        assert_eq!(s.regions_formed, s.per_region.len());
+        assert!(s.regions_formed >= 1);
+        assert!(s.interp_instrs > 0, "warm-up iterations are interpreted");
+        assert!(s.region_entries > 0);
+        assert!(s.region_guest_instrs > 0);
+        assert_eq!(
+            s.region_entries,
+            s.per_region.iter().map(|r| r.entries).sum::<u64>()
+        );
+        assert_eq!(s.total_cycles(), s.vliw_cycles + s.interp_cycles);
+        assert!(s.guest_instrs() >= s.interp_instrs);
+        assert!(s.translation_ns >= s.scheduling_ns);
+        assert!(s.avg_mem_ops_per_region() > 0.0);
+
+        // A colder threshold keeps more iterations in the interpreter.
+        let cold = SystemConfig {
+            hot_threshold: 100,
+            ..SystemConfig::default()
+        };
+        let c = run(counted_loop(200), cold);
+        assert!(c.interp_instrs > s.interp_instrs);
+        assert!(c.region_entries < s.region_entries);
+    }
+
+    /// Rollback and re-translation events must be mirrored exactly between
+    /// the global counters and the per-region records.
+    #[test]
+    fn rollback_counters_mirror_per_region_records() {
+        let cfg = SystemConfig {
+            hot_threshold: 10,
+            ..SystemConfig::default()
+        };
+        let s = run(aliasing_loop(300), cfg);
+
+        assert!(s.rollbacks >= 1, "true aliasing must fault at least once");
+        assert!(s.retranslations >= 1);
+        assert_eq!(
+            s.rollbacks,
+            s.per_region.iter().map(|r| r.rollbacks).sum::<u64>()
+        );
+        assert_eq!(
+            s.retranslations,
+            s.per_region
+                .iter()
+                .map(|r| r.retranslations as usize)
+                .sum::<usize>()
+        );
+        // A region cannot roll back more often than it was entered.
+        for r in &s.per_region {
+            assert!(r.rollbacks <= r.entries, "{r:?}");
+        }
+    }
+
+    /// The energy proxy separates the schemes: SMARQ's checks scan alias
+    /// entries, while the no-alias-hardware baseline never scans any.
+    #[test]
+    fn alias_scan_proxy_distinguishes_schemes() {
+        let cfg = SystemConfig {
+            hot_threshold: 10,
+            ..SystemConfig::with_opt(OptConfig::smarq(64))
+        };
+        let smarq = run(counted_loop(200), cfg);
+        assert!(smarq.region_mem_ops > 0);
+        assert!(smarq.alias_entries_scanned > 0);
+        assert!(smarq.scans_per_mem_op() > 0.0);
+
+        let cfg = SystemConfig {
+            hot_threshold: 10,
+            ..SystemConfig::with_opt(OptConfig::no_alias_hw())
+        };
+        let none = run(counted_loop(200), cfg);
+        assert!(none.region_mem_ops > 0, "regions still form and run");
+        assert_eq!(none.alias_entries_scanned, 0);
+        assert_eq!(none.scans_per_mem_op(), 0.0);
     }
 }

@@ -130,6 +130,14 @@ impl DynOptSystem {
         &self.blacklist
     }
 
+    /// The superblocks of every region currently in the translation cache
+    /// (in formation order). External oracles — the fuzzer's allocation
+    /// validator and differential dependence checks — re-optimize exactly
+    /// these regions instead of guessing what the system formed.
+    pub fn formed_superblocks(&self) -> impl Iterator<Item = &Superblock> + '_ {
+        self.regions.iter().map(|r| &r.sb)
+    }
+
     /// Runs until the guest halts or roughly `budget` guest instructions
     /// have been retired.
     pub fn run_to_completion(&mut self, budget: u64) -> StopReason {

@@ -27,6 +27,7 @@ mod cache;
 mod disasm;
 mod isa;
 mod machine;
+mod parse;
 mod sim;
 
 pub use alias_hw::{
@@ -35,4 +36,5 @@ pub use alias_hw::{
 pub use cache::{CacheParams, DCache};
 pub use isa::{AliasAnnot, Bundle, CondExit, ExitTarget, MemRange, SlotClass, VliwOp, VliwProgram};
 pub use machine::MachineConfig;
+pub use parse::parse_vliw;
 pub use sim::{RegionOutcome, RegionStats, SimError, Simulator, TraceEvent, VliwState};

@@ -27,6 +27,8 @@
 
 mod kernels;
 mod random;
+mod scale;
 
 pub use kernels::{all, by_name, scaled, Workload, WORKLOAD_NAMES};
 pub use random::{random_workload, random_workload_with, RandomParams};
+pub use scale::{scaled_count, scaled_iters, test_scale};

@@ -1,0 +1,57 @@
+//! Test-scale control.
+//!
+//! Randomized sweeps (seed ranges, fuzz case counts) read their sizes
+//! through [`scaled_count`]/[`scaled_iters`], which multiply the baseline
+//! by the `SMARQ_TEST_SCALE` environment variable: CI leaves it unset
+//! (scale 1), a local soak run sets e.g. `SMARQ_TEST_SCALE=20`, and a
+//! quick edit-compile loop can set `SMARQ_TEST_SCALE=0.2`. Results never
+//! scale below 1 so every sweep keeps at least one case.
+
+use std::sync::OnceLock;
+
+/// The current scale factor (default 1.0; invalid or non-positive values
+/// of `SMARQ_TEST_SCALE` fall back to the default). Read once per
+/// process.
+pub fn test_scale() -> f64 {
+    static SCALE: OnceLock<f64> = OnceLock::new();
+    *SCALE.get_or_init(|| {
+        std::env::var("SMARQ_TEST_SCALE")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .filter(|s| s.is_finite() && *s > 0.0)
+            .unwrap_or(1.0)
+    })
+}
+
+/// `base` cases scaled by [`test_scale`], at least 1.
+pub fn scaled_count(base: u64) -> u64 {
+    ((base as f64 * test_scale()).round() as u64).max(1)
+}
+
+/// `base` loop iterations scaled by [`test_scale`], at least 1.
+pub fn scaled_iters(base: i64) -> i64 {
+    ((base as f64 * test_scale()).round() as i64).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_at_default_scale() {
+        // The suite never sets SMARQ_TEST_SCALE for its own run, so the
+        // factor must be whatever the environment says — and with the
+        // default environment, identity.
+        if std::env::var_os("SMARQ_TEST_SCALE").is_none() {
+            assert_eq!(test_scale(), 1.0);
+            assert_eq!(scaled_count(16), 16);
+            assert_eq!(scaled_iters(150), 150);
+        }
+    }
+
+    #[test]
+    fn never_scales_to_zero() {
+        assert!(scaled_count(1) >= 1);
+        assert!(scaled_iters(1) >= 1);
+    }
+}

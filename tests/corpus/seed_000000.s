@@ -1,0 +1,19 @@
+; smarq-fuzz minimized repro
+; seed: 0
+; divergence: depgraph-mismatch under smarq64 region 2: 1 edges missing from fast path [Dep { src: M1, dst: M2, kind: Plain }], 0 extra []
+; ops: 70 -> 5
+b0:
+    iconst r2, 10
+    jump b1
+b1:
+    jump b3
+b2:
+    halt
+b3:
+    blt r3, r4, b3, b4
+b4:
+    st r17, [r14+8]
+    ld r17, [r12+56]
+    st r22, [r14+8]
+    addi r1, r1, 1
+    blt r1, r2, b1, b2

@@ -1,0 +1,27 @@
+; smarq-fuzz minimized repro
+; seed: 1
+; divergence: depgraph-mismatch under smarq64 region 4: 1 edges missing from fast path [Dep { src: M1, dst: M2, kind: Plain }], 0 extra []
+; ops: 51 -> 5
+b0:
+    iconst r2, 11
+    jump b1
+b1:
+    bne r17, r22, b3, b4
+b2:
+    halt
+b3:
+    jump b5
+b4:
+    jump b5
+b5:
+    blt r21, r20, b6, b7
+b6:
+    jump b8
+b7:
+    jump b8
+b8:
+    st r20, [r13+0]
+    ld r21, [r10+0]
+    st r23, [r11+4]
+    addi r1, r1, 1
+    blt r1, r2, b1, b2

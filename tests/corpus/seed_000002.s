@@ -1,0 +1,25 @@
+; smarq-fuzz minimized repro
+; seed: 2
+; divergence: depgraph-mismatch under smarq64 region 4: 1 edges missing from fast path [Dep { src: M1, dst: M2, kind: Plain }], 0 extra []
+; ops: 62 -> 5
+b0:
+    iconst r2, 15
+    jump b1
+b1:
+    jump b3
+b2:
+    halt
+b3:
+    blt r3, r4, b3, b4
+b4:
+    beq r20, r23, b5, b6
+b5:
+    jump b7
+b6:
+    jump b7
+b7:
+    ld r20, [r12+32]
+    st r21, [r11+16]
+    fst f12, [r12+36]
+    addi r1, r1, 1
+    blt r1, r2, b1, b2

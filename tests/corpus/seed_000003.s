@@ -1,0 +1,25 @@
+; smarq-fuzz minimized repro
+; seed: 3
+; divergence: depgraph-mismatch under smarq64 region 4: 1 edges missing from fast path [Dep { src: M1, dst: M2, kind: Plain }], 0 extra []
+; ops: 41 -> 5
+b0:
+    iconst r2, 15
+    jump b1
+b1:
+    blt r23, r19, b3, b4
+b2:
+    halt
+b3:
+    jump b5
+b4:
+    jump b5
+b5:
+    jump b6
+b6:
+    blt r3, r4, b6, b7
+b7:
+    st r23, [r15+12]
+    ld r21, [r10+36]
+    st r19, [r15+12]
+    addi r1, r1, 1
+    blt r1, r2, b1, b2

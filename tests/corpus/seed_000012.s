@@ -1,0 +1,21 @@
+; smarq-fuzz minimized repro
+; seed: 12
+; divergence: arch-mismatch under none: r16: expected 1, got 0 (unaligned
+;   base 2054: ld [r15+12] and st [r15+16] share word 258 at runtime, but
+;   aligned-window displacement folding in MemRef::relation declared them
+;   no-alias — miscompiled under every scheme, speculative or not)
+; ops: 58 -> 8
+b0:
+    iconst r2, 14
+    iconst r15, 2054
+    iconst r22, 1
+    jump b1
+b1:
+    ld r16, [r15+12]
+    st r20, [r15+16]
+    ld r18, [r10+28]
+    st r22, [r15+16]
+    addi r1, r1, 1
+    blt r1, r2, b1, b2
+b2:
+    halt

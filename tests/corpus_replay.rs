@@ -1,0 +1,39 @@
+//! Every minimized repro captured by `smarq fuzz` is a permanent
+//! regression test: each entry in `tests/corpus/` is replayed through the
+//! full layered oracle stack (end-to-end state, allocation validation,
+//! fast-path differentials) and must stay green.
+
+use smarq_fuzz::{check_program, load_dir, OracleParams};
+use std::path::Path;
+
+#[test]
+fn corpus_entries_replay_green() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let entries = load_dir(&dir).expect("corpus directory loads");
+    assert!(
+        entries.len() >= 3,
+        "expected at least 3 corpus entries in {}, found {}",
+        dir.display(),
+        entries.len()
+    );
+    for (path, program) in &entries {
+        if let Err(d) = check_program(program, &OracleParams::default()) {
+            panic!("{} diverged: {d}", path.display());
+        }
+    }
+}
+
+#[test]
+fn corpus_headers_record_provenance() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    for (path, _) in load_dir(&dir).expect("corpus directory loads") {
+        let src = std::fs::read_to_string(&path).unwrap();
+        for field in ["; seed:", "; divergence:", "; ops:"] {
+            assert!(
+                src.contains(field),
+                "{} is missing the `{field}` header",
+                path.display()
+            );
+        }
+    }
+}

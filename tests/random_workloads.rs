@@ -1,10 +1,14 @@
 //! Seeded random-workload sweep: larger bodies than the proptest cases,
 //! run end to end under every hardware scheme with bit-exact state checks.
+//!
+//! Seed counts and iteration counts scale with the `SMARQ_TEST_SCALE`
+//! environment variable (default 1.0): set it below 1 for a quick smoke
+//! pass, above 1 for a deeper soak.
 
 use smarq_guest::Interpreter;
 use smarq_opt::OptConfig;
 use smarq_runtime::{DynOptSystem, SystemConfig};
-use smarq_workloads::{random_workload_with, RandomParams};
+use smarq_workloads::{random_workload_with, scaled_count, scaled_iters, RandomParams};
 
 fn check(seed: u64, params: RandomParams) {
     let w = random_workload_with(seed, params);
@@ -33,12 +37,12 @@ fn check(seed: u64, params: RandomParams) {
 
 #[test]
 fn medium_bodies_across_seeds() {
-    for seed in 0..16 {
+    for seed in 0..scaled_count(16) {
         check(
             seed,
             RandomParams {
                 body_ops: 24,
-                iters: 150,
+                iters: scaled_iters(150),
                 address_pool: 4,
             },
         );
@@ -49,12 +53,12 @@ fn medium_bodies_across_seeds() {
 fn large_bodies_with_heavy_aliasing() {
     // A pool of 2 addresses: roughly half of all pointer pairs truly
     // alias, hammering the rollback/blacklist/re-optimize path.
-    for seed in 100..108 {
+    for seed in 100..100 + scaled_count(8) {
         check(
             seed,
             RandomParams {
                 body_ops: 80,
-                iters: 120,
+                iters: scaled_iters(120),
                 address_pool: 2,
             },
         );
@@ -65,12 +69,12 @@ fn large_bodies_with_heavy_aliasing() {
 fn single_address_pool_worst_case() {
     // Every pointer is the same address: all speculation faults; the
     // system must converge to fully conservative code and stay correct.
-    for seed in 200..204 {
+    for seed in 200..200 + scaled_count(4) {
         check(
             seed,
             RandomParams {
                 body_ops: 32,
-                iters: 100,
+                iters: scaled_iters(100),
                 address_pool: 1,
             },
         );
@@ -79,12 +83,12 @@ fn single_address_pool_worst_case() {
 
 #[test]
 fn unrolling_random_workloads_stays_exact() {
-    for seed in 300..306 {
+    for seed in 300..300 + scaled_count(6) {
         let w = random_workload_with(
             seed,
             RandomParams {
                 body_ops: 20,
-                iters: 200,
+                iters: scaled_iters(200),
                 address_pool: 3,
             },
         );
