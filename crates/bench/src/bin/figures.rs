@@ -22,8 +22,11 @@ fn bench_json(out_path: &str) {
     for c in &comparisons {
         eprintln!("{}", c.report());
     }
-    eprintln!("measuring absolute simulator throughput ...");
-    let absolutes = vec![perf::measure_simulator_region()];
+    eprintln!("measuring absolute simulator + validator throughput ...");
+    let absolutes = vec![
+        perf::measure_simulator_region(),
+        perf::measure_validator_regions(),
+    ];
     for m in &absolutes {
         eprintln!("{}", m.line());
     }

@@ -14,7 +14,10 @@ use smarq::queue::AliasQueue;
 use smarq::{allocate, AllocScratch, Allocator, DepGraph};
 use smarq_guest::{BlockId, Interpreter, Memory};
 use smarq_ir::{form_superblock, FormationParams};
-use smarq_opt::{optimize_superblock, AliasBlacklist, OptConfig};
+use smarq_opt::{
+    optimize_superblock, optimize_superblock_traced, AliasBlacklist, OptConfig, OptTrace,
+};
+use smarq_runtime::{DynOptSystem, SystemConfig};
 use smarq_vliw::{AnyAliasHw, HwKind, MachineConfig, Simulator, VliwState};
 use std::time::Instant;
 
@@ -158,6 +161,44 @@ pub fn measure_simulator_region() -> Measurement {
     let mut mem = Memory::new();
     time_fn("simulator/ammp_region", move || {
         sim.run_region(&opt.vliw, &mut state, &mut mem).unwrap()
+    })
+}
+
+/// Static validator + lint throughput (`crates/verify`): every region
+/// the system forms for a batch of seeded random workloads, fully
+/// re-checked per iteration — independent fact derivation, symbolic
+/// queue replay and all four lint passes. Regions verified per second is
+/// `1e9 / ns_per_iter`.
+pub fn measure_validator_regions() -> Measurement {
+    let machine = MachineConfig::default();
+    let opt_cfg = OptConfig::smarq(64);
+    let mut traces: Vec<OptTrace> = Vec::new();
+    let mut scratch = AllocScratch::new();
+    for seed in 0..8u64 {
+        let w = smarq_workloads::random_workload(seed);
+        let mut cfg = SystemConfig::with_opt(opt_cfg.clone());
+        cfg.hot_threshold = 10;
+        let mut sys = DynOptSystem::new(w.program, cfg);
+        sys.run_to_completion(2_000_000);
+        for sb in sys.formed_superblocks() {
+            let (_, trace) = optimize_superblock_traced(
+                sb,
+                &opt_cfg,
+                &machine,
+                &AliasBlacklist::new(),
+                &mut scratch,
+            );
+            if trace.allocation.is_some() {
+                traces.push(trace);
+            }
+        }
+    }
+    assert!(!traces.is_empty(), "random workloads must form regions");
+    let mut i = 0usize;
+    time_fn("verify/random_region_check", move || {
+        let t = &traces[i % traces.len()];
+        i += 1;
+        smarq_verify::check_trace(0, t, 64).len()
     })
 }
 

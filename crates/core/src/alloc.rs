@@ -138,8 +138,11 @@ pub struct Allocation {
 }
 
 impl Allocation {
-    /// Crate-internal constructor used by the baseline allocators.
-    pub(crate) fn from_parts(
+    /// Assembles an allocation from raw parts. Used by the baseline
+    /// allocators and, externally, by validator tests that need to build
+    /// deliberately tampered allocations the real allocator would never
+    /// emit.
+    pub fn from_parts(
         per_op: Vec<Option<OpAlias>>,
         code: Vec<AliasCode>,
         working_set: u32,
@@ -530,6 +533,11 @@ impl<'a> Allocator<'a> {
                 // ANTI-CONSTRAINT candidate: X executes before Y; if Y's
                 // hardware scan could reach the register holding X's range,
                 // a genuine alias would raise a *false positive* exception.
+                if crate::fault::drop_anti_enabled() {
+                    // Injected fault: behave as if §4.2 were never
+                    // implemented. See `fault::set_drop_anti`.
+                    continue;
+                }
                 let h = self.holder[xn];
                 if self.offset[h].is_some() {
                     // X's register is already released before Y executes.

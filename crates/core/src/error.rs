@@ -1,8 +1,176 @@
-//! Error types.
+//! Error types and the shared structured-diagnostic format.
 
 use crate::ids::MemOpId;
 use std::error::Error;
 use std::fmt;
+
+/// How serious a [`Diagnostic`] is.
+///
+/// `Error` means the region is wrong (unsound or able to raise a false
+/// alias exception); `Warning` means it is correct but wasteful; `Info` is
+/// advisory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory note.
+    Info,
+    /// Correct but suboptimal (e.g. a check that can never fire).
+    Warning,
+    /// The region violates a correctness property.
+    Error,
+}
+
+impl Severity {
+    /// Stable lowercase label (used in JSON and display output).
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A structured, JSON-serializable finding about one optimized region.
+///
+/// This is the shared reporting currency for the allocation validator, the
+/// static translation validator in `crates/verify` and its lint passes: one
+/// record pinpointing *where* (region, op, span in the alias-code stream)
+/// and *why* (a constraint witness plus a human-readable message).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// Region index (formation order) the finding applies to.
+    pub region: usize,
+    /// Stable machine-readable code, e.g. `"missing-check"`.
+    pub code: &'static str,
+    /// The primary operation involved, if any.
+    pub op: Option<MemOpId>,
+    /// Span `[start, end)` of alias-code positions the finding covers.
+    pub span: Option<(usize, usize)>,
+    /// The constraint or dependence that witnesses the finding, rendered
+    /// in the paper's notation (e.g. `"M0 ->check M3"`).
+    pub witness: Option<String>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// New diagnostic with the given severity; location fields start empty.
+    pub fn new(
+        severity: Severity,
+        region: usize,
+        code: &'static str,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            severity,
+            region,
+            code,
+            op: None,
+            span: None,
+            witness: None,
+            message: message.into(),
+        }
+    }
+
+    /// Attaches the primary operation.
+    pub fn with_op(mut self, op: MemOpId) -> Self {
+        self.op = Some(op);
+        self
+    }
+
+    /// Attaches a `[start, end)` span of alias-code positions.
+    pub fn with_span(mut self, start: usize, end: usize) -> Self {
+        self.span = Some((start, end));
+        self
+    }
+
+    /// Attaches a constraint witness.
+    pub fn with_witness(mut self, witness: impl Into<String>) -> Self {
+        self.witness = Some(witness.into());
+        self
+    }
+
+    /// Serializes the diagnostic as a single JSON object (hand-rolled; the
+    /// workspace carries no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"severity\": \"{}\", \"region\": {}, \"code\": \"{}\"",
+            self.severity.label(),
+            self.region,
+            json_escape(self.code)
+        );
+        if let Some(op) = self.op {
+            out.push_str(&format!(", \"op\": {}", op.index()));
+        }
+        if let Some((start, end)) = self.span {
+            out.push_str(&format!(", \"span\": [{start}, {end}]"));
+        }
+        if let Some(w) = &self.witness {
+            out.push_str(&format!(", \"witness\": \"{}\"", json_escape(w)));
+        }
+        out.push_str(&format!(
+            ", \"message\": \"{}\"}}",
+            json_escape(&self.message)
+        ));
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}] region {}", self.severity, self.code, self.region)?;
+        if let Some(op) = self.op {
+            write!(f, " {op}")?;
+        }
+        if let Some((start, end)) = self.span {
+            write!(f, " code[{start}..{end})")?;
+        }
+        write!(f, ": {}", self.message)?;
+        if let Some(w) = &self.witness {
+            write!(f, " (witness: {w})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders a slice of diagnostics as a JSON array (one object per line).
+pub fn diagnostics_to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        out.push_str("\n  ");
+        out.push_str(&d.to_json());
+        if i + 1 < diags.len() {
+            out.push(',');
+        }
+    }
+    if !diags.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
 
 /// Errors reported by the alias register allocator.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -53,6 +221,30 @@ impl fmt::Display for AllocError {
 }
 
 impl Error for AllocError {}
+
+impl AllocError {
+    /// Renders the error as a structured [`Diagnostic`] for `region`.
+    pub fn diagnostic(&self, region: usize) -> Diagnostic {
+        let d = Diagnostic::new(Severity::Error, region, self.code(), self.to_string());
+        match *self {
+            AllocError::BadSchedule { op, .. } | AllocError::UnresolvedConstraints { op } => {
+                d.with_op(op)
+            }
+            AllocError::Overflow { offset, num_regs } => {
+                d.with_witness(format!("offset {offset} >= {num_regs} registers"))
+            }
+        }
+    }
+
+    /// Stable machine-readable code for the error variant.
+    pub fn code(&self) -> &'static str {
+        match self {
+            AllocError::BadSchedule { .. } => "bad-schedule",
+            AllocError::Overflow { .. } => "alloc-overflow",
+            AllocError::UnresolvedConstraints { .. } => "unresolved-constraints",
+        }
+    }
+}
 
 /// Errors reported by the allocation validator
 /// ([`validate_allocation`](crate::validate::validate_allocation)).
@@ -145,6 +337,42 @@ impl fmt::Display for ValidationError {
 
 impl Error for ValidationError {}
 
+impl ValidationError {
+    /// Renders the error as a structured [`Diagnostic`] for `region` —
+    /// the allocation validator's reporting format for the oracle layers
+    /// and the `smarq lint` driver.
+    pub fn diagnostic(&self, region: usize) -> Diagnostic {
+        let d = Diagnostic::new(Severity::Error, region, self.code(), self.to_string());
+        match *self {
+            ValidationError::MissingCheck { checker, checkee } => d
+                .with_op(checker)
+                .with_witness(format!("{checker} ->check {checkee}")),
+            ValidationError::FalsePositive { producer, checker } => d
+                .with_op(checker)
+                .with_witness(format!("{checker} examines {producer}")),
+            ValidationError::OffsetOutOfRange { op, .. } => d.with_op(op),
+            ValidationError::OrderInvariantBroken { op }
+            | ValidationError::PrematureRelease { op } => d.with_op(op),
+            ValidationError::OrderRuleViolated { src, dst, anti } => {
+                let kind = if anti { "anti" } else { "check" };
+                d.with_op(src).with_witness(format!("{src} ->{kind} {dst}"))
+            }
+        }
+    }
+
+    /// Stable machine-readable code for the error variant.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ValidationError::MissingCheck { .. } => "missing-check",
+            ValidationError::FalsePositive { .. } => "false-positive",
+            ValidationError::OffsetOutOfRange { .. } => "offset-out-of-range",
+            ValidationError::OrderInvariantBroken { .. } => "order-invariant",
+            ValidationError::PrematureRelease { .. } => "premature-release",
+            ValidationError::OrderRuleViolated { .. } => "order-rule",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +392,47 @@ mod tests {
             checkee: MemOpId::new(2),
         };
         assert_eq!(v.to_string(), "required alias check M1 -> M2 not performed");
+    }
+
+    #[test]
+    fn diagnostic_json_has_all_fields() {
+        let d = ValidationError::MissingCheck {
+            checker: MemOpId::new(2),
+            checkee: MemOpId::new(3),
+        }
+        .diagnostic(7)
+        .with_span(1, 4);
+        let j = d.to_json();
+        assert!(j.contains("\"severity\": \"error\""), "{j}");
+        assert!(j.contains("\"region\": 7"), "{j}");
+        assert!(j.contains("\"code\": \"missing-check\""), "{j}");
+        assert!(j.contains("\"op\": 2"), "{j}");
+        assert!(j.contains("\"span\": [1, 4]"), "{j}");
+        assert!(j.contains("\"witness\": \"M2 ->check M3\""), "{j}");
+        assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+    }
+
+    #[test]
+    fn diagnostic_json_escapes_quotes_and_newlines() {
+        let d = Diagnostic::new(Severity::Warning, 0, "test", "say \"hi\"\nline2");
+        let j = d.to_json();
+        assert!(j.contains("say \\\"hi\\\"\\nline2"), "{j}");
+    }
+
+    #[test]
+    fn diagnostics_array_renders_empty_and_nonempty() {
+        assert_eq!(diagnostics_to_json(&[]), "[]");
+        let d = Diagnostic::new(Severity::Info, 1, "x", "m");
+        let arr = diagnostics_to_json(&[d.clone(), d]);
+        assert!(arr.starts_with("[\n") && arr.ends_with("\n]"), "{arr}");
+        assert_eq!(arr.matches("\"code\": \"x\"").count(), 2);
+    }
+
+    #[test]
+    fn severity_orders_error_highest() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+        assert_eq!(Severity::Error.label(), "error");
     }
 
     #[test]

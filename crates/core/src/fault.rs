@@ -47,3 +47,30 @@ pub fn drop_plain_deps_enabled() -> bool {
 pub fn drops_pair(i: u32, j: u32) -> bool {
     (i + j).is_multiple_of(3)
 }
+
+static ANTI_FORCED: AtomicBool = AtomicBool::new(false);
+static ANTI_FROM_ENV: OnceLock<bool> = OnceLock::new();
+
+/// Enables (or disables) the anti-constraint-dropping fault: the
+/// allocator's `schedule_op` skips the whole §4.2 anti-constraint handling
+/// (no `ANTI-CONSTRAINT` edges, no order demotion, no clean-up or
+/// relocation `AMOV`s), as if the implementation had forgotten the rule.
+/// The resulting allocations can give a producer an order at or above its
+/// prohibited checker, so a genuine runtime alias would roll the region
+/// back for nothing. Crucially the bug is *invisible to end-to-end state
+/// oracles* — a false-positive alias exception is functionally safe, just
+/// slow — which is exactly why the static validator layer must catch it.
+/// Process-wide; tests belong in their own integration-test binary.
+pub fn set_drop_anti(on: bool) {
+    ANTI_FORCED.store(on, Ordering::SeqCst);
+}
+
+/// `true` when the anti-constraint-dropping fault is active, either via
+/// [`set_drop_anti`] or the `SMARQ_FAULT_DROP_ANTI` environment variable
+/// (checked once, non-empty value enables).
+pub fn drop_anti_enabled() -> bool {
+    ANTI_FORCED.load(Ordering::SeqCst)
+        || *ANTI_FROM_ENV.get_or_init(|| {
+            std::env::var_os("SMARQ_FAULT_DROP_ANTI").is_some_and(|v| !v.is_empty())
+        })
+}

@@ -82,7 +82,7 @@ pub use alloc::{
 };
 pub use constraints::{ConstraintGraph, ConstraintKind, ConstraintStats};
 pub use deps::{Dep, DepGraph, DepKind};
-pub use error::{AllocError, ValidationError};
+pub use error::{diagnostics_to_json, AllocError, Diagnostic, Severity, ValidationError};
 pub use ids::{MemOpId, Offset, Order};
 pub use lower_bound::live_range_lower_bound;
 pub use region::{LoadElim, MemKind, MemOp, RegionSpec, SealedRegion, StoreElim};

@@ -2,18 +2,22 @@
 //!
 //! ```text
 //! smarq fuzz   [--seed N] [--cases N] [--budget-secs S] [--corpus-dir DIR]
-//!              [--max-repros N] [--inject-fault drop-plain-deps]
+//!              [--max-repros N] [--inject-fault drop-plain-deps|drop-anti]
 //!              [--expect-divergence]
 //! smarq replay PATH...        # corpus files or directories
+//! smarq lint   PATH... [--json FILE]   # static verification + lint passes
 //! smarq snippet FILE          # print a paste-ready Rust regression test
 //! ```
 //!
 //! `fuzz` exits non-zero when a divergence was found (or, with
 //! `--expect-divergence`, when none was — the mutation sanity mode).
 //! Minimized repros are written to `--corpus-dir` (default
-//! `tests/corpus`).
+//! `tests/corpus`). `lint` exits non-zero on any error-severity finding;
+//! `--json` additionally writes the structured report for CI artifacts.
 
-use smarq_fuzz::{check_program, load_dir, run_campaign, CampaignParams, OracleParams, Repro};
+use smarq_fuzz::{
+    check_program, lint_paths, load_dir, run_campaign, CampaignParams, OracleParams, Repro,
+};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -21,9 +25,10 @@ use std::time::Duration;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: smarq fuzz [--seed N] [--cases N] [--budget-secs S] [--corpus-dir DIR]\n\
-         \x20                 [--max-repros N] [--inject-fault drop-plain-deps]\n\
+         \x20                 [--max-repros N] [--inject-fault drop-plain-deps|drop-anti]\n\
          \x20                 [--expect-divergence]\n\
          \x20      smarq replay PATH...\n\
+         \x20      smarq lint PATH... [--json FILE]\n\
          \x20      smarq snippet FILE"
     );
     ExitCode::from(2)
@@ -34,6 +39,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
+        Some("lint") => cmd_lint(&args[1..]),
         Some("snippet") => cmd_snippet(&args[1..]),
         _ => usage(),
     }
@@ -83,7 +89,8 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
             },
             "--inject-fault" => match value.map(String::as_str) {
                 Some("drop-plain-deps") => smarq::fault::set_drop_plain_deps(true),
-                _ => return fail("--inject-fault supports: drop-plain-deps"),
+                Some("drop-anti") => smarq::fault::set_drop_anti(true),
+                _ => return fail("--inject-fault supports: drop-plain-deps, drop-anti"),
             },
             "--expect-divergence" => {
                 expect_divergence = true;
@@ -177,6 +184,51 @@ fn cmd_replay(args: &[String]) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         fail(&format!("{failures} corpus entr(ies) diverged"))
+    }
+}
+
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let mut paths: Vec<&str> = Vec::new();
+    let mut json_out: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => match args.get(i + 1) {
+                Some(v) => {
+                    json_out = Some(PathBuf::from(v));
+                    i += 2;
+                }
+                None => return fail("--json needs a value"),
+            },
+            flag if flag.starts_with("--") => return fail(&format!("unknown flag {flag}")),
+            p => {
+                paths.push(p);
+                i += 1;
+            }
+        }
+    }
+    if paths.is_empty() {
+        return usage();
+    }
+    let path_refs: Vec<&Path> = paths.iter().map(Path::new).collect();
+    let outcome = match lint_paths(&path_refs, |line| println!("[lint] {line}")) {
+        Ok(o) => o,
+        Err(e) => return fail(&e),
+    };
+    println!(
+        "[lint] {} entr(ies), {} region(s): {} error(s), {} warning(s)",
+        outcome.entries, outcome.regions, outcome.errors, outcome.warnings
+    );
+    if let Some(path) = json_out {
+        if let Err(e) = std::fs::write(&path, smarq_fuzz::lint::to_json(&outcome)) {
+            return fail(&format!("writing {}: {e}", path.display()));
+        }
+        println!("[lint] wrote {}", path.display());
+    }
+    if outcome.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        fail(&format!("{} error-severity finding(s)", outcome.errors))
     }
 }
 

@@ -21,11 +21,13 @@
 pub mod corpus;
 pub mod driver;
 pub mod gen;
+pub mod lint;
 pub mod minimize;
 pub mod oracle;
 
 pub use corpus::{load_dir, Repro};
 pub use driver::{run_campaign, CampaignOutcome, CampaignParams};
 pub use gen::{generate, FuzzParams};
+pub use lint::{lint_entries, lint_paths, lint_program, Finding, LintOutcome};
 pub use minimize::{minimize, Minimized};
 pub use oracle::{check_program, schemes, Divergence, OracleParams, OracleReport};

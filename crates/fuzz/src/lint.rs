@@ -1,0 +1,215 @@
+//! The `smarq lint` driver: statically verifies and lints every region
+//! the dynamic-optimization system forms for a set of guest programs.
+//!
+//! This is the corpus-facing entry point of `crates/verify`: for each
+//! program it replays translation under every hardware scheme in
+//! [`crate::oracle::schemes`], re-optimizes each formed superblock with a
+//! trace, and runs the static validator plus the default lint passes over
+//! the result — no guest execution is compared, only the emitted regions
+//! are judged. Findings come back as structured [`Diagnostic`]s and the
+//! whole report serializes to JSON for the CI artifact.
+
+use crate::oracle::schemes;
+use smarq::{AllocScratch, Diagnostic, Severity};
+use smarq_guest::Program;
+use smarq_opt::optimize_superblock_traced;
+use smarq_runtime::{DynOptSystem, SystemConfig};
+use smarq_verify::check_trace;
+use std::path::{Path, PathBuf};
+
+/// One finding, located by corpus entry and hardware scheme.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Corpus entry (path) the region came from.
+    pub entry: String,
+    /// Hardware scheme label from [`schemes`].
+    pub scheme: &'static str,
+    /// The structured diagnostic.
+    pub diagnostic: Diagnostic,
+}
+
+/// Aggregate result of linting a set of corpus entries.
+#[derive(Clone, Debug, Default)]
+pub struct LintOutcome {
+    /// Corpus entries processed.
+    pub entries: usize,
+    /// Regions verified (per scheme; regions without an allocation verify
+    /// vacuously and are still counted).
+    pub regions: usize,
+    /// Error-severity findings.
+    pub errors: usize,
+    /// Warning-severity findings.
+    pub warnings: usize,
+    /// All findings in discovery order.
+    pub findings: Vec<Finding>,
+}
+
+impl LintOutcome {
+    /// `true` when no error-severity finding was produced (warnings do
+    /// not fail a lint run).
+    pub fn is_clean(&self) -> bool {
+        self.errors == 0
+    }
+}
+
+/// Guest-instruction budget for region formation. Corpus programs all
+/// terminate well inside it; a runaway program simply stops forming
+/// regions once the budget runs out — lint never hangs.
+const FORMATION_BUDGET: u64 = 2_000_000;
+
+/// Lints every region `program` forms under every hardware scheme,
+/// appending findings to `out`. Returns the number of regions examined.
+pub fn lint_program(entry: &str, program: &Program, out: &mut Vec<Finding>) -> usize {
+    let mut regions = 0;
+    let mut scratch = AllocScratch::new();
+    for (label, opt) in schemes() {
+        let mut cfg = SystemConfig::with_opt(opt.clone());
+        // Match the replay oracle's formation knobs so lint sees the same
+        // regions the fuzzer checked dynamically.
+        cfg.hot_threshold = 10;
+        let mut sys = DynOptSystem::new(program.clone(), cfg.clone());
+        sys.run_to_completion(FORMATION_BUDGET);
+        for (region, sb) in sys.formed_superblocks().enumerate() {
+            let (_, trace) =
+                optimize_superblock_traced(sb, &opt, &cfg.machine, sys.blacklist(), &mut scratch);
+            regions += 1;
+            for diagnostic in check_trace(region, &trace, opt.num_alias_regs) {
+                out.push(Finding {
+                    entry: entry.to_string(),
+                    scheme: label,
+                    diagnostic,
+                });
+            }
+        }
+    }
+    regions
+}
+
+/// Lints a list of `(path, program)` corpus entries, logging one line per
+/// entry through `log`.
+pub fn lint_entries(entries: &[(PathBuf, Program)], mut log: impl FnMut(&str)) -> LintOutcome {
+    let mut outcome = LintOutcome::default();
+    for (path, program) in entries {
+        let entry = path.display().to_string();
+        let before = outcome.findings.len();
+        outcome.regions += lint_program(&entry, program, &mut outcome.findings);
+        outcome.entries += 1;
+        let new = &outcome.findings[before..];
+        let errors = count(new, Severity::Error);
+        let warnings = count(new, Severity::Warning);
+        outcome.errors += errors;
+        outcome.warnings += warnings;
+        if errors == 0 {
+            log(&format!("{entry}: clean ({warnings} warning(s))"));
+        } else {
+            log(&format!(
+                "{entry}: {errors} error(s), {warnings} warning(s)"
+            ));
+            for f in new {
+                if f.diagnostic.severity == Severity::Error {
+                    log(&format!("  [{}] {}", f.scheme, f.diagnostic));
+                }
+            }
+        }
+    }
+    outcome
+}
+
+fn count(findings: &[Finding], severity: Severity) -> usize {
+    findings
+        .iter()
+        .filter(|f| f.diagnostic.severity == severity)
+        .count()
+}
+
+/// Serializes the outcome as a JSON report (hand-rolled; no serde in the
+/// workspace) for the CI `lint-corpus` artifact.
+pub fn to_json(outcome: &LintOutcome) -> String {
+    let mut out = format!(
+        "{{\n  \"schema\": \"smarq-lint/1\",\n  \"entries\": {},\n  \"regions\": {},\n  \
+         \"errors\": {},\n  \"warnings\": {},\n  \"findings\": [",
+        outcome.entries, outcome.regions, outcome.errors, outcome.warnings
+    );
+    for (i, f) in outcome.findings.iter().enumerate() {
+        out.push_str(&format!(
+            "\n    {{\"entry\": \"{}\", \"scheme\": \"{}\", \"diagnostic\": {}}}{}",
+            f.entry.replace('\\', "\\\\").replace('"', "\\\""),
+            f.scheme,
+            f.diagnostic.to_json(),
+            if i + 1 < outcome.findings.len() {
+                ","
+            } else {
+                "\n  "
+            }
+        ));
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Convenience: lints a corpus directory (or a single file), as the CLI
+/// and the corpus-wide test do.
+///
+/// # Errors
+/// Propagates I/O and parse errors as strings.
+pub fn lint_paths(paths: &[&Path], log: impl FnMut(&str)) -> Result<LintOutcome, String> {
+    let mut entries = Vec::new();
+    for path in paths {
+        if path.is_dir() {
+            entries.extend(crate::corpus::load_dir(path).map_err(|e| e.to_string())?);
+        } else {
+            let src =
+                std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+            let prog = smarq_guest::parse_program(&src)
+                .map_err(|e| format!("{}: {e:?}", path.display()))?;
+            entries.push((path.to_path_buf(), prog));
+        }
+    }
+    if entries.is_empty() {
+        return Err("no corpus entries found".to_string());
+    }
+    Ok(lint_entries(&entries, log))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, FuzzParams};
+
+    #[test]
+    fn generated_program_lints_clean() {
+        let p = generate(1, &FuzzParams::default());
+        let mut findings = Vec::new();
+        let regions = lint_program("gen-1", &p, &mut findings);
+        assert!(regions > 0, "no regions formed");
+        let errors: Vec<_> = findings
+            .iter()
+            .filter(|f| f.diagnostic.severity == Severity::Error)
+            .collect();
+        assert!(
+            errors.is_empty(),
+            "clean program produced errors: {errors:?}"
+        );
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let outcome = LintOutcome {
+            entries: 1,
+            regions: 2,
+            errors: 0,
+            warnings: 1,
+            findings: vec![Finding {
+                entry: "tests/corpus/x.s".into(),
+                scheme: "smarq8",
+                diagnostic: Diagnostic::new(Severity::Warning, 0, "overflow-risk", "crowded"),
+            }],
+        };
+        let j = to_json(&outcome);
+        assert!(j.contains("\"schema\": \"smarq-lint/1\""), "{j}");
+        assert!(j.contains("\"entries\": 1"), "{j}");
+        assert!(j.contains("\"scheme\": \"smarq8\""), "{j}");
+        assert!(j.contains("\"code\": \"overflow-risk\""), "{j}");
+        assert!(j.trim_end().ends_with('}'), "{j}");
+    }
+}

@@ -9,16 +9,23 @@
 //!    re-optimized through [`smarq_opt::optimize_superblock_traced`] and
 //!    the resulting allocation is replayed symbolically by
 //!    [`validate_allocation`] (soundness, precision, mechanics).
-//! 3. **Fast-path differentials** — on the same live regions,
+//! 3. **Static verification** — the same regions go through
+//!    [`smarq_verify`]'s independent constraint re-derivation and
+//!    symbolic queue replay; any error-severity diagnostic is a
+//!    divergence. Unlike layer 2 this layer does *not* share the
+//!    production dependence analysis, so a consistent-but-wrong analysis
+//!    (the injected faults of `smarq::fault`) is caught here without any
+//!    execution at all.
+//! 4. **Fast-path differentials** — on the same live regions,
 //!    [`DepGraph::compute`] vs [`DepGraph::compute_naive`] edge sets, and
 //!    [`AliasQueue::check_first`] vs the full-scan
 //!    [`AliasQueue::check`] at every C-bit instruction of the allocated
 //!    code.
 //!
-//! The layering is the point: a consistent-but-wrong analysis (e.g. the
-//! injected fault of `smarq::fault`) slips past the validator — which is
-//! fed the same wrong dependences — but cannot slip past the differential
-//! or the end-to-end state check.
+//! The layering is the point: a consistent-but-wrong analysis slips past
+//! the validator — which is fed the same wrong dependences — but cannot
+//! slip past the independent static verifier, the differential or the
+//! end-to-end state check.
 
 use smarq::queue::AliasQueue;
 use smarq::validate::validate_allocation;
@@ -87,7 +94,17 @@ pub enum Divergence {
         /// The validator's error.
         detail: String,
     },
-    /// Layer 3: fast dependence analysis disagrees with the naive oracle.
+    /// Layer 3: the independent static verifier (`smarq_verify`) rejected
+    /// a produced region — an error-severity structured diagnostic.
+    StaticVerify {
+        /// Scheme label.
+        scheme: &'static str,
+        /// Region index in formation order.
+        region: usize,
+        /// The first error diagnostic, JSON-serialized.
+        detail: String,
+    },
+    /// Layer 4: fast dependence analysis disagrees with the naive oracle.
     DepGraphMismatch {
         /// Scheme label.
         scheme: &'static str,
@@ -96,7 +113,7 @@ pub enum Divergence {
         /// Edge-set difference summary.
         detail: String,
     },
-    /// Layer 3: `check_first` disagrees with the full-scan `check`.
+    /// Layer 4: `check_first` disagrees with the full-scan `check`.
     QueueMismatch {
         /// Scheme label.
         scheme: &'static str,
@@ -114,6 +131,7 @@ impl Divergence {
             Divergence::Nontermination => "nontermination",
             Divergence::ArchMismatch { .. } => "arch-mismatch",
             Divergence::ValidatorReject { .. } => "validator-reject",
+            Divergence::StaticVerify { .. } => "static-verify",
             Divergence::DepGraphMismatch { .. } => "depgraph-mismatch",
             Divergence::QueueMismatch { .. } => "queue-mismatch",
         }
@@ -141,6 +159,11 @@ impl std::fmt::Display for Divergence {
                 f,
                 "validator-reject under {scheme} region {region}: {detail}"
             ),
+            Divergence::StaticVerify {
+                scheme,
+                region,
+                detail,
+            } => write!(f, "static-verify under {scheme} region {region}: {detail}"),
             Divergence::DepGraphMismatch {
                 scheme,
                 region,
@@ -163,10 +186,12 @@ impl std::fmt::Display for Divergence {
 pub struct OracleReport {
     /// Schemes executed end to end.
     pub schemes: usize,
-    /// Regions whose traces passed layers 2 and 3.
+    /// Regions whose traces passed layers 2–4.
     pub regions_checked: usize,
     /// Allocations replayed by the validator.
     pub allocations_validated: usize,
+    /// Regions proven by the independent static verifier.
+    pub regions_verified: usize,
 }
 
 fn arch_diff(expected: &ArchState, got: &ArchState) -> String {
@@ -253,15 +278,28 @@ pub fn check_program(program: &Program, params: &OracleParams) -> Result<OracleR
                     return Err(Divergence::ValidatorReject {
                         scheme: label,
                         region,
-                        detail: format!("{e:?}"),
+                        detail: e.diagnostic(region).to_json(),
                     });
                 }
                 report.allocations_validated += 1;
 
-                // Layer 3b: check_first vs full-scan check, replaying the
+                // Layer 4b: check_first vs full-scan check, replaying the
                 // allocated alias code on a live queue.
                 queue_differential(alloc, label, region)?;
             }
+
+            // Layer 3: the independent static verifier. Fed the original
+            // region, not the production dependence analysis, so it also
+            // catches consistent-but-wrong analyses — with no execution.
+            let diags = smarq_verify::verify_trace(region, &trace, opt.num_alias_regs);
+            if let Some(d) = diags.iter().find(|d| d.severity == smarq::Severity::Error) {
+                return Err(Divergence::StaticVerify {
+                    scheme: label,
+                    region,
+                    detail: d.to_json(),
+                });
+            }
+            report.regions_verified += 1;
             report.regions_checked += 1;
         }
     }
@@ -345,6 +383,10 @@ mod tests {
         assert_eq!(report.schemes, 6);
         assert!(report.regions_checked > 0, "no regions formed");
         assert!(report.allocations_validated > 0, "no allocations replayed");
+        assert!(
+            report.regions_verified > 0,
+            "no regions statically verified"
+        );
     }
 
     #[test]

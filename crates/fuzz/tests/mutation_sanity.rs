@@ -7,14 +7,32 @@
 //! delta-debug it to a small repro, and (3) see the repro go green again
 //! once the fault is removed.
 //!
-//! The fault switch is process-wide, which is why this lives in its own
-//! integration-test binary: cargo gives it a dedicated process, so
-//! enabling the fault cannot race with unrelated tests.
+//! `smarq::fault::set_drop_anti(true)` injects the complementary bug:
+//! the allocator skips §4.2 anti-constraint handling entirely. That one
+//! is *invisible* to end-to-end oracles — false-positive alias checks
+//! roll back and re-execute correctly, they just waste cycles — so the
+//! tests below prove the **static validator alone** (`crates/verify`, no
+//! execution of any kind) flags both injected faults.
+//!
+//! The fault switches are process-wide, which is why this lives in its
+//! own integration-test binary: cargo gives it a dedicated process, so
+//! enabling a fault cannot race with unrelated tests. Within the binary,
+//! `FAULT_LOCK` serializes the tests against each other.
 
+use smarq::{allocate, DepGraph, MemKind, MemOpId, RegionSpec};
 use smarq_fuzz::{check_program, run_campaign, CampaignParams, OracleParams};
+use std::sync::Mutex;
+
+/// Serializes every test that flips a process-wide fault switch.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn fault_lock() -> std::sync::MutexGuard<'static, ()> {
+    FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 #[test]
 fn weakened_dependence_rule_is_caught_and_minimized() {
+    let _guard = fault_lock();
     smarq::fault::set_drop_plain_deps(true);
     let params = CampaignParams {
         seed: 0,
@@ -48,4 +66,109 @@ fn weakened_dependence_rule_is_caught_and_minimized() {
     // On unmodified code the minimized repro must replay green.
     check_program(&repro.program, &OracleParams::default())
         .expect("repro diverges only under the injected fault");
+}
+
+/// The paper's Figure 2 region: schedule `[m3, m1, m2, m0]` hoists both
+/// loads above the stores they may alias.
+fn figure2() -> (RegionSpec, Vec<MemOpId>) {
+    let mut r = RegionSpec::new();
+    let m0 = r.push(MemKind::Store, 0);
+    let m1 = r.push(MemKind::Load, 1);
+    let m2 = r.push(MemKind::Store, 2);
+    let m3 = r.push(MemKind::Load, 3);
+    r.set_may_alias(m1, m2, true);
+    r.set_may_alias(m3, m0, true);
+    r.set_may_alias(m3, m2, true);
+    (r, vec![m3, m1, m2, m0])
+}
+
+/// Region whose check/anti edges form a cycle the allocator must break
+/// with a moving AMOV (mirrors `smarq::alloc`'s `cycle_region` fixture).
+/// Dropping anti handling leaves the producer's entry live inside a
+/// checker's scan window — a false-positive the validator must prove.
+fn cycle_region() -> (RegionSpec, Vec<MemOpId>) {
+    let mut r = RegionSpec::new();
+    let c1 = r.push(MemKind::Store, 0);
+    let s = r.push(MemKind::Store, 1);
+    let x = r.push(MemKind::Load, 3);
+    let v = r.push(MemKind::Store, 4);
+    let z2 = r.push(MemKind::Load, 3);
+    let y = r.push(MemKind::Store, 5);
+    let z1 = r.push(MemKind::Load, 0);
+    r.set_may_alias(c1, x, true);
+    r.set_may_alias(s, x, true);
+    r.set_may_alias(x, v, true);
+    r.set_may_alias(v, z2, true);
+    r.set_may_alias(y, c1, true);
+    r.set_may_alias(y, z1, true);
+    r.set_may_alias(x, y, true);
+    r.set_may_alias(s, z2, false);
+    r.set_may_alias(c1, z2, false);
+    r.set_may_alias(y, z2, false);
+    r.add_load_elim(x, z2);
+    r.add_load_elim(c1, z1);
+    (r, vec![c1, v, x, s, y])
+}
+
+/// The static validator alone — no interpreter, no VLIW simulator, no
+/// differential execution — catches the dropped-dependence fault: the
+/// faulted analysis omits the `m0 -> m3` plain dependence, the faulted
+/// allocation omits its check, and the independently derived facts prove
+/// the check is required.
+#[test]
+fn static_validator_catches_dropped_plain_deps() {
+    let _guard = fault_lock();
+    let (r, sched) = figure2();
+
+    smarq::fault::set_drop_plain_deps(true);
+    let deps = DepGraph::compute(&r);
+    let alloc = allocate(&r, &deps, &sched, 64).expect("fault only weakens, never breaks, alloc");
+    smarq::fault::set_drop_plain_deps(false);
+
+    let diags = smarq_verify::verify_region(0, &r, &sched, &alloc);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.code == "missing-check" && d.witness.as_deref() == Some("M0 ->check M3")),
+        "static validator missed the dropped dependence: {diags:?}"
+    );
+
+    // Same region without the fault: proven correct.
+    let deps = DepGraph::compute(&r);
+    let alloc = allocate(&r, &deps, &sched, 64).unwrap();
+    let diags = smarq_verify::verify_region(0, &r, &sched, &alloc);
+    assert!(smarq_verify::is_clean(&diags), "got: {diags:?}");
+}
+
+/// The static validator alone catches the dropped-anti fault, which NO
+/// execution-based oracle can: a violated anti-constraint only fires
+/// spurious alias exceptions, and rollback re-executes correctly. With
+/// §4.2 skipped the allocator leaves a producer's entry live inside a
+/// checker's scan window; the symbolic replay proves the false positive
+/// and the order-rule audit flags the inverted register order.
+#[test]
+fn static_validator_catches_dropped_anti_constraints() {
+    let _guard = fault_lock();
+    let (r, sched) = cycle_region();
+
+    smarq::fault::set_drop_anti(true);
+    let deps = DepGraph::compute(&r);
+    let alloc = allocate(&r, &deps, &sched, 64).expect("fault only weakens, never breaks, alloc");
+    smarq::fault::set_drop_anti(false);
+
+    let diags = smarq_verify::verify_region(0, &r, &sched, &alloc);
+    assert!(
+        diags.iter().any(|d| d.code == "false-positive"),
+        "symbolic replay missed the unenforced anti-constraint: {diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.code == "order-rule"),
+        "order audit missed the inverted producer/checker order: {diags:?}"
+    );
+
+    // Same region without the fault: proven correct.
+    let deps = DepGraph::compute(&r);
+    let alloc = allocate(&r, &deps, &sched, 64).unwrap();
+    let diags = smarq_verify::verify_region(0, &r, &sched, &alloc);
+    assert!(smarq_verify::is_clean(&diags), "got: {diags:?}");
 }

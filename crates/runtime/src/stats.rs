@@ -51,11 +51,25 @@ pub struct SystemStats {
     /// Alias entries examined by the detection hardware (energy proxy,
     /// paper §2.4).
     pub alias_entries_scanned: u64,
+    /// Regions statically verified at emit time (verify-on-emit mode;
+    /// see [`crate::SystemConfig::verify_translations`]).
+    pub regions_verified: usize,
+    /// Error-severity findings from verify-on-emit. Always 0 for a
+    /// correct optimizer — any other value is a translation bug caught
+    /// before the region ever ran.
+    pub verify_errors: usize,
+    /// JSON-serialized diagnostics from verify-on-emit, capped at
+    /// [`Self::VERIFY_DIAGNOSTIC_CAP`] entries.
+    pub verify_diagnostics: Vec<String>,
     /// Per-region records.
     pub per_region: Vec<RegionRecord>,
 }
 
 impl SystemStats {
+    /// Upper bound on retained verify-on-emit diagnostics (the counters
+    /// keep counting past it).
+    pub const VERIFY_DIAGNOSTIC_CAP: usize = 64;
+
     /// Total simulated execution cycles (interpretation + regions).
     pub fn total_cycles(&self) -> u64 {
         self.vliw_cycles + self.interp_cycles

@@ -5,7 +5,10 @@ use smarq::AllocScratch;
 use smarq_guest::{BlockId, Interpreter, Program};
 use smarq_ir::OpOrigin;
 use smarq_ir::{form_superblock, unroll_superblock, FormationParams, IrOp, Superblock};
-use smarq_opt::{optimize_superblock_with_scratch, AliasBlacklist, OptConfig};
+use smarq_opt::{
+    optimize_superblock_traced, optimize_superblock_with_scratch, AliasBlacklist, OptConfig,
+    OptTrace,
+};
 use smarq_vliw::{AnyAliasHw, MachineConfig, RegionOutcome, Simulator, VliwProgram, VliwState};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
@@ -28,6 +31,18 @@ pub struct SystemConfig {
     /// Rollbacks after which a region is abandoned to interpretation
     /// (a backstop; blacklisting normally converges much earlier).
     pub max_rollbacks_per_region: u64,
+    /// Verify-on-emit: statically verify every (re)translated region with
+    /// `smarq_verify` before it enters the code cache. Findings accumulate
+    /// in [`SystemStats`]; execution is never blocked (observation mode).
+    /// Defaults to the `SMARQ_VERIFY` environment variable (non-empty,
+    /// non-`0` value enables; read once per process).
+    pub verify_translations: bool,
+}
+
+fn verify_from_env() -> bool {
+    static FROM_ENV: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FROM_ENV
+        .get_or_init(|| std::env::var_os("SMARQ_VERIFY").is_some_and(|v| !v.is_empty() && v != "0"))
 }
 
 impl Default for SystemConfig {
@@ -44,6 +59,7 @@ impl Default for SystemConfig {
             },
             unroll_factor: 1,
             max_rollbacks_per_region: 64,
+            verify_translations: verify_from_env(),
         }
     }
 }
@@ -196,16 +212,33 @@ impl DynOptSystem {
             self.config.unroll_factor,
             self.config.formation.max_ops,
         );
-        let opt = optimize_superblock_with_scratch(
-            &sb,
-            &self.config.opt,
-            &self.config.machine,
-            &self.blacklist,
-            &mut self.scratch,
-        );
+        let (opt, trace) = if self.config.verify_translations {
+            let (opt, trace) = optimize_superblock_traced(
+                &sb,
+                &self.config.opt,
+                &self.config.machine,
+                &self.blacklist,
+                &mut self.scratch,
+            );
+            (opt, Some(trace))
+        } else {
+            let opt = optimize_superblock_with_scratch(
+                &sb,
+                &self.config.opt,
+                &self.config.machine,
+                &self.blacklist,
+                &mut self.scratch,
+            );
+            (opt, None)
+        };
         let ns = t0.elapsed().as_nanos() as u64;
         self.stats.translation_ns += ns;
         self.stats.scheduling_ns += opt.stats.sched_ns;
+        // Verify after the overhead clock stops: the paper's Figure 18
+        // overhead metric must not be polluted by an opt-in debug mode.
+        if let Some(trace) = trace {
+            self.verify_emitted(self.regions.len(), &trace);
+        }
 
         let exit_instrs = exit_instr_counts(&sb);
         self.regions.push(CachedRegion {
@@ -228,21 +261,53 @@ impl DynOptSystem {
 
     fn retranslate(&mut self, idx: usize) {
         let t0 = Instant::now();
-        let opt = optimize_superblock_with_scratch(
-            &self.regions[idx].sb,
-            &self.config.opt,
-            &self.config.machine,
-            &self.blacklist,
-            &mut self.scratch,
-        );
+        let (opt, trace) = if self.config.verify_translations {
+            let (opt, trace) = optimize_superblock_traced(
+                &self.regions[idx].sb,
+                &self.config.opt,
+                &self.config.machine,
+                &self.blacklist,
+                &mut self.scratch,
+            );
+            (opt, Some(trace))
+        } else {
+            let opt = optimize_superblock_with_scratch(
+                &self.regions[idx].sb,
+                &self.config.opt,
+                &self.config.machine,
+                &self.blacklist,
+                &mut self.scratch,
+            );
+            (opt, None)
+        };
         let ns = t0.elapsed().as_nanos() as u64;
         self.stats.translation_ns += ns;
         self.stats.scheduling_ns += opt.stats.sched_ns;
+        if let Some(trace) = trace {
+            self.verify_emitted(idx, &trace);
+        }
         self.regions[idx].vliw = opt.vliw;
         self.regions[idx].tag_origin = opt.tag_origin;
         self.stats.retranslations += 1;
         self.stats.per_region[idx].retranslations += 1;
         self.stats.per_region[idx].opt = opt.stats;
+    }
+
+    /// Statically verifies a freshly emitted translation (verify-on-emit
+    /// mode) and folds the findings into [`SystemStats`]. Observation
+    /// only: a bad region still enters the cache — callers inspect
+    /// `verify_errors` to decide whether to trust the run.
+    fn verify_emitted(&mut self, region: usize, trace: &OptTrace) {
+        let diags = smarq_verify::verify_trace(region, trace, self.config.opt.num_alias_regs);
+        self.stats.regions_verified += 1;
+        for d in diags {
+            if d.severity == smarq::Severity::Error {
+                self.stats.verify_errors += 1;
+            }
+            if self.stats.verify_diagnostics.len() < SystemStats::VERIFY_DIAGNOSTIC_CAP {
+                self.stats.verify_diagnostics.push(d.to_json());
+            }
+        }
     }
 
     fn run_region(&mut self, entry: BlockId, idx: usize) -> Option<BlockId> {
@@ -567,5 +632,33 @@ mod tests {
         assert_eq!(sys.stats().regions_formed, 0);
         assert_eq!(sys.stats().vliw_cycles, 0);
         assert!(sys.stats().interp_instrs > 0);
+    }
+
+    /// Verify-on-emit covers every translation AND retranslation, reports
+    /// zero errors for the correct optimizer, and stays out of the way
+    /// when off.
+    #[test]
+    fn verify_on_emit_covers_all_translations() {
+        let p = accumulating_loop(400);
+        let expected = reference_state(&p);
+        let mut cfg = SystemConfig::with_opt(OptConfig::smarq(64));
+        cfg.hot_threshold = 10;
+        cfg.verify_translations = true;
+        let mut sys = DynOptSystem::new(p.clone(), cfg);
+        assert_eq!(sys.run_to_completion(u64::MAX), StopReason::Halted);
+        assert_eq!(sys.interp().arch_state(), expected);
+        let s = sys.stats();
+        assert!(s.regions_verified > 0, "every emitted region is verified");
+        assert_eq!(
+            s.regions_verified,
+            s.regions_formed + s.retranslations,
+            "translations and retranslations both pass through the verifier"
+        );
+        assert_eq!(s.verify_errors, 0, "{:?}", s.verify_diagnostics);
+
+        let mut off = DynOptSystem::new(p, SystemConfig::with_opt(OptConfig::smarq(64)));
+        off.run_to_completion(u64::MAX);
+        assert_eq!(off.stats().regions_verified, 0);
+        assert!(off.stats().verify_diagnostics.is_empty());
     }
 }

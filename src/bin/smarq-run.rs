@@ -4,8 +4,14 @@
 //! ```text
 //! smarq-run FILE.s [--hw smarq|smarq16|efficeon|alat|none]
 //!                  [--regs N] [--unroll N] [--budget N]
-//!                  [--dump-region] [--compare]
+//!                  [--dump-region] [--compare] [--verify]
+//! smarq-run lint PATH... [--json FILE]
 //! ```
+//!
+//! The `lint` subcommand statically verifies and lints every region the
+//! system forms for the given programs (or corpus directories) under every
+//! hardware scheme — see `crates/verify`. `--verify` enables the runtime's
+//! verify-on-emit mode for a normal run (also via `SMARQ_VERIFY=1`).
 
 use smarq_opt::OptConfig;
 use smarq_runtime::{DynOptSystem, SystemConfig};
@@ -19,14 +25,71 @@ struct Args {
     budget: u64,
     dump_region: bool,
     compare: bool,
+    verify: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: smarq-run FILE.s [--hw smarq|smarq16|efficeon|alat|none] \
-         [--regs N] [--unroll N] [--budget N] [--dump-region] [--compare]"
+         [--regs N] [--unroll N] [--budget N] [--dump-region] [--compare] [--verify]\n\
+         \x20      smarq-run lint PATH... [--json FILE]"
     );
     ExitCode::from(2)
+}
+
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let mut paths: Vec<&str> = Vec::new();
+    let mut json_out: Option<std::path::PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => match args.get(i + 1) {
+                Some(v) => {
+                    json_out = Some(std::path::PathBuf::from(v));
+                    i += 2;
+                }
+                None => {
+                    eprintln!("--json needs a value");
+                    return usage();
+                }
+            },
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag '{flag}'");
+                return usage();
+            }
+            p => {
+                paths.push(p);
+                i += 1;
+            }
+        }
+    }
+    if paths.is_empty() {
+        return usage();
+    }
+    let path_refs: Vec<&std::path::Path> = paths.iter().map(std::path::Path::new).collect();
+    let outcome = match smarq_fuzz::lint_paths(&path_refs, |line| println!("[lint] {line}")) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("smarq-run: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    println!(
+        "[lint] {} entr(ies), {} region(s): {} error(s), {} warning(s)",
+        outcome.entries, outcome.regions, outcome.errors, outcome.warnings
+    );
+    if let Some(path) = json_out {
+        if let Err(e) = std::fs::write(&path, smarq_fuzz::lint::to_json(&outcome)) {
+            eprintln!("smarq-run: writing {}: {e}", path.display());
+            return ExitCode::from(1);
+        }
+        println!("[lint] wrote {}", path.display());
+    }
+    if outcome.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
 }
 
 fn parse_args() -> Result<Args, ExitCode> {
@@ -38,6 +101,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         budget: u64::MAX,
         dump_region: false,
         compare: false,
+        verify: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -60,6 +124,7 @@ fn parse_args() -> Result<Args, ExitCode> {
             }
             "--dump-region" => args.dump_region = true,
             "--compare" => args.compare = true,
+            "--verify" => args.verify = true,
             "-h" | "--help" => return Err(usage()),
             other if other.starts_with('-') => {
                 eprintln!("unknown flag '{other}'");
@@ -91,6 +156,10 @@ fn opt_for(hw: &str, regs: u32) -> Option<OptConfig> {
 }
 
 fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("lint") {
+        return cmd_lint(&raw[1..]);
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(code) => return code,
@@ -116,6 +185,9 @@ fn main() -> ExitCode {
 
     let mut cfg = SystemConfig::with_opt(opt);
     cfg.unroll_factor = args.unroll;
+    if args.verify {
+        cfg.verify_translations = true;
+    }
     let mut sys = DynOptSystem::new(program.clone(), cfg);
     sys.run_to_completion(args.budget);
     let s = sys.stats();
@@ -131,6 +203,18 @@ fn main() -> ExitCode {
         "optimization:        {:.4}% of execution time",
         s.optimization_overhead() * 100.0
     );
+    if s.regions_verified > 0 || s.verify_errors > 0 {
+        println!(
+            "verification:        {} region(s) statically verified, {} error(s)",
+            s.regions_verified, s.verify_errors
+        );
+        for d in &s.verify_diagnostics {
+            println!("  {d}");
+        }
+        if s.verify_errors > 0 {
+            return ExitCode::from(1);
+        }
+    }
     if let Some(r) = s.per_region.iter().max_by_key(|r| r.entries) {
         println!(
             "hot region:          {} memops, working set {}, {} checks, {} antis",

@@ -1,0 +1,33 @@
+//! Corpus-wide static verification: every regression entry in
+//! `tests/corpus/` must verify clean under the `crates/verify` validator
+//! and lint framework, across every hardware scheme the lint driver
+//! exercises. This is the same check the CI `lint-corpus` job and
+//! `smarq lint tests/corpus` run.
+
+use std::path::Path;
+
+#[test]
+fn corpus_verifies_clean_under_static_validator() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let outcome = smarq_fuzz::lint_paths(&[dir.as_path()], |_| {}).expect("corpus lints");
+    assert!(
+        outcome.entries >= 3,
+        "expected at least 3 corpus entries, found {}",
+        outcome.entries
+    );
+    assert!(
+        outcome.regions > 0,
+        "corpus programs must form regions to verify"
+    );
+    let report: Vec<String> = outcome
+        .findings
+        .iter()
+        .map(|f| format!("{} [{}]: {}", f.entry, f.scheme, f.diagnostic))
+        .collect();
+    assert!(
+        outcome.is_clean(),
+        "{} error-severity finding(s):\n{}",
+        outcome.errors,
+        report.join("\n")
+    );
+}
