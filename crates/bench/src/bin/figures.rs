@@ -18,6 +18,7 @@ fn bench_json(out_path: &str) {
         perf::compare_allocator(),
         perf::compare_mem_access_dense(),
         perf::compare_mem_access_sparse(),
+        perf::compare_dispatch(),
     ];
     for c in &comparisons {
         eprintln!("{}", c.report());
@@ -32,13 +33,21 @@ fn bench_json(out_path: &str) {
     }
     eprintln!("timing the evaluation sweep (serial, then parallel) ...");
     let sweep = perf::time_eval_sweep();
-    eprintln!(
-        "sweep: serial {:.2}s, parallel {:.2}s on {} threads ({:.2}x)",
-        sweep.serial_s,
-        sweep.parallel_s,
-        sweep.threads,
-        sweep.speedup()
-    );
+    if sweep.degenerate {
+        eprintln!(
+            "sweep: serial {:.2}s; single hardware thread, parallel run \
+             skipped (degenerate)",
+            sweep.serial_s
+        );
+    } else {
+        eprintln!(
+            "sweep: serial {:.2}s, parallel {:.2}s on {} threads ({:.2}x)",
+            sweep.serial_s,
+            sweep.parallel_s,
+            sweep.threads,
+            sweep.speedup()
+        );
+    }
     let json = perf::to_json(&comparisons, &absolutes, Some(&sweep));
     if let Err(e) = std::fs::write(out_path, &json) {
         eprintln!("error: cannot write {out_path}: {e}");

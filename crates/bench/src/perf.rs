@@ -12,12 +12,12 @@ use crate::synth::hoist_region;
 use crate::Evaluation;
 use smarq::queue::AliasQueue;
 use smarq::{allocate, AllocScratch, Allocator, DepGraph};
-use smarq_guest::{BlockId, Interpreter, Memory};
+use smarq_guest::{AluOp, BlockId, CmpOp, Interpreter, Memory, ProgramBuilder, Reg};
 use smarq_ir::{form_superblock, FormationParams};
 use smarq_opt::{
     optimize_superblock, optimize_superblock_traced, AliasBlacklist, OptConfig, OptTrace,
 };
-use smarq_runtime::{DynOptSystem, SystemConfig};
+use smarq_runtime::{DispatchMode, DynOptSystem, SystemConfig};
 use smarq_vliw::{AnyAliasHw, HwKind, MachineConfig, Simulator, VliwState};
 use std::time::Instant;
 
@@ -142,6 +142,80 @@ pub fn compare_mem_access_sparse() -> Comparison {
     }
 }
 
+/// End-to-end dispatch overhead on a region-chained hot loop: the seed's
+/// naive dispatcher (per-entry hashmap probe, full guest marshal both
+/// ways, full-state checkpoint clone, per-block stat sync) vs the chained
+/// dispatcher (flat cache, memoized region→region links followed in a
+/// tight loop, resident guest state, write-masked checkpoints, batched
+/// stat sync).
+///
+/// Both systems run the same effectively-infinite counted loop with a
+/// load/store pair. Each is warmed until the loop is translated, then
+/// timed on identical incremental budget slices of steady-state
+/// execution, so one timed iteration is exactly [`DISPATCH_STEP`] guest
+/// instructions dominated by region entries.
+pub fn compare_dispatch() -> Comparison {
+    /// Guest instructions per timed closure call.
+    const DISPATCH_STEP: u64 = 20_000;
+    const WARM: u64 = 100_000;
+
+    fn warm(mode: DispatchMode) -> DynOptSystem {
+        let mut b = ProgramBuilder::new();
+        let entry = b.block();
+        let body = b.block();
+        let done = b.block();
+        // Register-only tiny loop: the per-iteration work is two guest
+        // instructions, so the measurement is dominated by dispatch
+        // (lookup, marshal, chaining) rather than by memory simulation.
+        b.iconst(entry, Reg(1), 0);
+        b.iconst(entry, Reg(2), i64::MAX);
+        b.jump(entry, body);
+        b.alu_imm(body, AluOp::Add, Reg(1), Reg(1), 1);
+        b.branch(body, CmpOp::Lt, Reg(1), Reg(2), body, done);
+        b.halt(done);
+        let program = b.finish(entry);
+
+        let cfg = SystemConfig {
+            hot_threshold: 50,
+            dispatch: mode,
+            ..Default::default()
+        };
+        let mut sys = DynOptSystem::new(program, cfg);
+        sys.run_to_completion(WARM);
+        assert!(
+            sys.stats().regions_formed >= 1,
+            "hot loop must be translated before timing"
+        );
+        sys
+    }
+
+    let mut naive = warm(DispatchMode::Naive);
+    let mut budget = WARM;
+    let before = time_fn("dispatch/naive_hashmap_marshal", move || {
+        budget += DISPATCH_STEP;
+        naive.run_to_completion(budget)
+    });
+
+    let mut chained = warm(DispatchMode::Chained);
+    budget = WARM + DISPATCH_STEP;
+    // Prove the fast path is engaged before timing it.
+    chained.run_to_completion(budget);
+    assert!(
+        chained.stats().chain_follows > 0,
+        "chained system must follow region links in steady state"
+    );
+    let after = time_fn("dispatch/chained_resident", move || {
+        budget += DISPATCH_STEP;
+        chained.run_to_completion(budget)
+    });
+
+    Comparison {
+        name: "dispatch".into(),
+        before,
+        after,
+    }
+}
+
 /// Absolute cycle-level simulator throughput on a real translated region
 /// (no before/after — an absolute trajectory point).
 pub fn measure_simulator_region() -> Measurement {
@@ -211,22 +285,38 @@ pub struct SweepTiming {
     pub parallel_s: f64,
     /// Worker threads used for the parallel sweep.
     pub threads: usize,
+    /// `true` when the machine has a single hardware thread: the
+    /// "parallel" run would be the serial run again, so it is skipped and
+    /// `parallel_s` mirrors `serial_s`. A `speedup()` of 1.00 from a
+    /// degenerate sweep says nothing about the fan-out.
+    pub degenerate: bool,
 }
 
 impl SweepTiming {
-    /// Parallel speedup over the serial sweep.
+    /// Parallel speedup over the serial sweep (exactly 1.0 when
+    /// [`SweepTiming::degenerate`]).
     pub fn speedup(&self) -> f64 {
         self.serial_s / self.parallel_s
     }
 }
 
 /// Times [`Evaluation::run_parallel`] at 1 thread and at the machine's
-/// available parallelism.
+/// available parallelism. On a single-core machine the second run is
+/// skipped ([`SweepTiming::degenerate`]) instead of re-measuring the
+/// serial sweep and reporting the noise ratio as a "speedup".
 pub fn time_eval_sweep() -> SweepTiming {
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let t0 = Instant::now();
     let serial = Evaluation::run_parallel(1);
     let serial_s = t0.elapsed().as_secs_f64();
+    if threads == 1 {
+        return SweepTiming {
+            serial_s,
+            parallel_s: serial_s,
+            threads,
+            degenerate: true,
+        };
+    }
     let t1 = Instant::now();
     let parallel = Evaluation::run_parallel(threads);
     let parallel_s = t1.elapsed().as_secs_f64();
@@ -239,6 +329,7 @@ pub fn time_eval_sweep() -> SweepTiming {
         serial_s,
         parallel_s,
         threads,
+        degenerate: false,
     }
 }
 
@@ -276,11 +367,12 @@ pub fn to_json(
     out.push_str("  ]");
     if let Some(s) = sweep {
         out.push_str(&format!(
-            ",\n  \"eval_sweep\": {{\"serial_s\": {:.3}, \"parallel_s\": {:.3}, \"threads\": {}, \"speedup\": {:.2}}}",
+            ",\n  \"eval_sweep\": {{\"serial_s\": {:.3}, \"parallel_s\": {:.3}, \"threads\": {}, \"speedup\": {:.2}, \"degenerate\": {}}}",
             s.serial_s,
             s.parallel_s,
             s.threads,
-            s.speedup()
+            s.speedup(),
+            s.degenerate
         ));
     }
     out.push_str("\n}\n");
@@ -311,5 +403,19 @@ mod tests {
         assert!(j.contains("\"speedup\": 2.50"));
         assert!(j.contains("\"ns_per_iter\": 12.5"));
         assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn degenerate_sweep_is_marked_in_json() {
+        let s = SweepTiming {
+            serial_s: 4.2,
+            parallel_s: 4.2,
+            threads: 1,
+            degenerate: true,
+        };
+        let j = to_json(&[], &[], Some(&s));
+        assert!(j.contains("\"degenerate\": true"));
+        assert!(j.contains("\"threads\": 1"));
+        assert!((s.speedup() - 1.0).abs() < 1e-12);
     }
 }

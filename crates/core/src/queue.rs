@@ -347,12 +347,19 @@ impl<T: Clone> AliasQueue<T> {
 
     /// Clears every register and resets `BASE` to 0 (used at atomic region
     /// boundaries: commit or rollback invalidates all alias registers).
+    ///
+    /// Runs at every region entry of the simulator's hot loop, so it walks
+    /// the occupancy mask and clears only the slots that actually hold an
+    /// entry (`occupancy` bit set ⇔ slot is `Some`) instead of sweeping
+    /// the whole file.
     pub fn reset(&mut self) {
-        for s in &mut self.slots {
-            *s = None;
-        }
-        for w in &mut self.occupancy {
-            *w = 0;
+        for (w, word) in self.occupancy.iter_mut().enumerate() {
+            let mut m = *word;
+            while m != 0 {
+                self.slots[(w << 6) + m.trailing_zeros() as usize] = None;
+                m &= m - 1;
+            }
+            *word = 0;
         }
         self.base = 0;
     }

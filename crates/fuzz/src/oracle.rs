@@ -4,7 +4,10 @@
 //!
 //! 1. **End-to-end** — a pure [`Interpreter`] run is the reference; the
 //!    full [`DynOptSystem`] must reproduce the architectural state
-//!    bit-exactly under every hardware scheme.
+//!    bit-exactly under every hardware scheme. The same case is then
+//!    re-run with region chaining disabled ([`DispatchMode::Naive`]) and
+//!    the two dispatchers must agree on both the final architectural
+//!    state and the guest-instruction totals.
 //! 2. **Allocation validation** — every superblock the system formed is
 //!    re-optimized through [`smarq_opt::optimize_superblock_traced`] and
 //!    the resulting allocation is replayed symbolically by
@@ -32,7 +35,7 @@ use smarq::validate::validate_allocation;
 use smarq::{AliasCode, AllocScratch, Dep, DepGraph, MemOpId};
 use smarq_guest::{ArchState, Interpreter, Program, RunOutcome};
 use smarq_opt::{optimize_superblock_traced, OptConfig};
-use smarq_runtime::{DynOptSystem, SystemConfig};
+use smarq_runtime::{DispatchMode, DynOptSystem, SystemConfig};
 
 /// Oracle budgets and system knobs.
 #[derive(Clone, Copy, Debug)]
@@ -85,6 +88,16 @@ pub enum Divergence {
         /// First differing locations.
         detail: String,
     },
+    /// Layer 1b: the chained dispatcher (region chaining + resident guest
+    /// state + batched stat sync) diverged from the retained naive
+    /// dispatcher — different architectural state or different
+    /// guest-instruction accounting on the same program.
+    DispatchMismatch {
+        /// Scheme label from [`schemes`].
+        scheme: &'static str,
+        /// What differed between the two dispatchers.
+        detail: String,
+    },
     /// Layer 2: the symbolic validator rejected a produced allocation.
     ValidatorReject {
         /// Scheme label.
@@ -130,6 +143,7 @@ impl Divergence {
         match self {
             Divergence::Nontermination => "nontermination",
             Divergence::ArchMismatch { .. } => "arch-mismatch",
+            Divergence::DispatchMismatch { .. } => "dispatch-mismatch",
             Divergence::ValidatorReject { .. } => "validator-reject",
             Divergence::StaticVerify { .. } => "static-verify",
             Divergence::DepGraphMismatch { .. } => "depgraph-mismatch",
@@ -150,6 +164,9 @@ impl std::fmt::Display for Divergence {
             Divergence::Nontermination => write!(f, "nontermination (skipped)"),
             Divergence::ArchMismatch { scheme, detail } => {
                 write!(f, "arch-mismatch under {scheme}: {detail}")
+            }
+            Divergence::DispatchMismatch { scheme, detail } => {
+                write!(f, "dispatch-mismatch under {scheme}: {detail}")
             }
             Divergence::ValidatorReject {
                 scheme,
@@ -186,6 +203,8 @@ impl std::fmt::Display for Divergence {
 pub struct OracleReport {
     /// Schemes executed end to end.
     pub schemes: usize,
+    /// Chained-vs-naive dispatcher differentials that came out bit-exact.
+    pub dispatch_differentials: usize,
     /// Regions whose traces passed layers 2–4.
     pub regions_checked: usize,
     /// Allocations replayed by the validator.
@@ -245,6 +264,36 @@ pub fn check_program(program: &Program, params: &OracleParams) -> Result<OracleR
                 detail: arch_diff(&expected, &got),
             });
         }
+
+        // Layer 1b: the chained dispatcher vs the retained naive
+        // dispatcher. Same program, same scheme, chaining off: the final
+        // architectural state and the guest-instruction accounting must
+        // both be bit-exact against the chained run above.
+        let mut naive_cfg = cfg.clone();
+        naive_cfg.dispatch = DispatchMode::Naive;
+        let mut naive_sys = DynOptSystem::new(program.clone(), naive_cfg);
+        naive_sys.run_to_completion(u64::MAX);
+        let naive_got = naive_sys.interp().arch_state();
+        if naive_got != expected {
+            return Err(Divergence::DispatchMismatch {
+                scheme: label,
+                detail: format!(
+                    "naive dispatch arch state: {}",
+                    arch_diff(&expected, &naive_got)
+                ),
+            });
+        }
+        if naive_sys.stats().guest_instrs() != sys.stats().guest_instrs() {
+            return Err(Divergence::DispatchMismatch {
+                scheme: label,
+                detail: format!(
+                    "guest_instrs: chained {} vs naive {}",
+                    sys.stats().guest_instrs(),
+                    naive_sys.stats().guest_instrs()
+                ),
+            });
+        }
+        report.dispatch_differentials += 1;
 
         // Layers 2 and 3 over every region the system actually formed.
         for (region, sb) in sys.formed_superblocks().enumerate() {
@@ -381,6 +430,7 @@ mod tests {
         let p = generate(1, &FuzzParams::default());
         let report = check_program(&p, &OracleParams::default()).expect("no divergence");
         assert_eq!(report.schemes, 6);
+        assert_eq!(report.dispatch_differentials, 6);
         assert!(report.regions_checked > 0, "no regions formed");
         assert!(report.allocations_validated > 0, "no allocations replayed");
         assert!(

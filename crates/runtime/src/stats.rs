@@ -42,6 +42,17 @@ pub struct SystemStats {
     pub regions_formed: usize,
     /// Total region entries.
     pub region_entries: u64,
+    /// Translation-cache probes made by the dispatcher (per interpreted
+    /// block, plus one per unresolved region exit). Chained dispatch
+    /// drives this toward zero in steady state — followed links never
+    /// consult the cache.
+    pub dispatch_lookups: u64,
+    /// Region→region transitions taken through a memoized chain link
+    /// without re-entering the dispatcher.
+    pub chain_follows: u64,
+    /// Chain links invalidated because their target region was
+    /// retranslated or abandoned.
+    pub chain_unlinks: u64,
     /// Total rollbacks.
     pub rollbacks: u64,
     /// Total re-translations.
@@ -262,6 +273,58 @@ mod tests {
         for r in &s.per_region {
             assert!(r.rollbacks <= r.entries, "{r:?}");
         }
+    }
+
+    /// Batching `sync_interp_stats` off the per-block dispatch path must
+    /// not change any guest-instruction accounting: the naive (per-block
+    /// sync) and chained (boundary sync) dispatchers report identical
+    /// totals, and the synced counter always equals the interpreter's own
+    /// counter at every observable stop point.
+    #[test]
+    fn batched_stat_sync_preserves_guest_instr_totals() {
+        use crate::DispatchMode;
+        for p in [counted_loop(300), aliasing_loop(300)] {
+            let mk = |mode: DispatchMode| {
+                let mut cfg = SystemConfig {
+                    hot_threshold: 10,
+                    ..SystemConfig::default()
+                };
+                cfg.dispatch = mode;
+                let mut sys = DynOptSystem::new(p.clone(), cfg);
+                assert_eq!(sys.run_to_completion(u64::MAX), StopReason::Halted);
+                sys
+            };
+            let naive = mk(DispatchMode::Naive);
+            let chained = mk(DispatchMode::Chained);
+            assert_eq!(
+                naive.stats().guest_instrs(),
+                chained.stats().guest_instrs(),
+                "total guest instructions are dispatch-invariant"
+            );
+            assert_eq!(
+                naive.stats().interp_instrs,
+                chained.stats().interp_instrs,
+                "interpreted share is dispatch-invariant"
+            );
+            for sys in [&naive, &chained] {
+                assert_eq!(
+                    sys.stats().interp_instrs,
+                    sys.interp().executed_instrs(),
+                    "the synced counter matches the interpreter at stop"
+                );
+            }
+        }
+
+        // Budget-exhausted stops are boundary syncs too.
+        let mut cfg = SystemConfig {
+            hot_threshold: 10,
+            ..SystemConfig::default()
+        };
+        cfg.dispatch = DispatchMode::Chained;
+        let mut sys = DynOptSystem::new(counted_loop(1_000_000), cfg);
+        assert_eq!(sys.run_to_completion(20_000), StopReason::BudgetExhausted);
+        assert!(sys.stats().guest_instrs() >= 20_000);
+        assert_eq!(sys.stats().interp_instrs, sys.interp().executed_instrs());
     }
 
     /// The energy proxy separates the schemes: SMARQ's checks scan alias

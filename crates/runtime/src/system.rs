@@ -9,9 +9,30 @@ use smarq_opt::{
     optimize_superblock_traced, optimize_superblock_with_scratch, AliasBlacklist, OptConfig,
     OptTrace,
 };
-use smarq_vliw::{AnyAliasHw, MachineConfig, RegionOutcome, Simulator, VliwProgram, VliwState};
-use std::collections::{HashMap, HashSet};
+use smarq_vliw::{
+    AliasViolation, AnyAliasHw, MachineConfig, RegionOutcome, RegionStats, RegionWriteMask,
+    Simulator, VliwProgram, VliwState,
+};
+use std::collections::HashMap;
 use std::time::Instant;
+
+/// How the runtime dispatches between interpreter and translated regions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DispatchMode {
+    /// The original dispatcher, retained as the differential oracle (per
+    /// repo convention for replaced hot paths): a hash-map lookup per
+    /// guest block, a full guest-register marshal around every region
+    /// entry/exit, and interpreter stat syncing after every interpreted
+    /// block.
+    Naive,
+    /// The overhauled dispatch path: a flat `Vec`-indexed translation
+    /// cache keyed by [`BlockId::index`], memoized region→region chain
+    /// links followed in a tight loop without re-entering the dispatcher,
+    /// guest state kept resident in the VLIW register file across chained
+    /// executions, and stat syncing batched to stop/boundary points.
+    #[default]
+    Chained,
+}
 
 /// System configuration.
 #[derive(Clone, Debug)]
@@ -37,6 +58,10 @@ pub struct SystemConfig {
     /// Defaults to the `SMARQ_VERIFY` environment variable (non-empty,
     /// non-`0` value enables; read once per process).
     pub verify_translations: bool,
+    /// Dispatch-path implementation (see [`DispatchMode`]). The chained
+    /// dispatcher is the default; the naive one is the bit-exact oracle
+    /// used by the differential tests and the `dispatch` perf comparison.
+    pub dispatch: DispatchMode,
 }
 
 fn verify_from_env() -> bool {
@@ -60,6 +85,7 @@ impl Default for SystemConfig {
             unroll_factor: 1,
             max_rollbacks_per_region: 64,
             verify_translations: verify_from_env(),
+            dispatch: DispatchMode::default(),
         }
     }
 }
@@ -74,6 +100,37 @@ impl SystemConfig {
     }
 }
 
+/// Memoized dispatch decision for one region exit.
+///
+/// Link lifecycle: every exit starts `Unresolved`; the first time the
+/// running region leaves through it with the target block cached, the
+/// dispatcher memoizes `Region(n)` and subsequent executions follow the
+/// link without touching the translation cache. Retranslating or
+/// abandoning region `n` resets every `Region(n)` link (and the
+/// retranslated region's own outgoing links) back to `Unresolved`.
+/// Per-chain statistics accumulator: `run_region_chained` folds region
+/// execution stats in here (registers/locals on its hot loop) and
+/// flushes the totals into [`SystemStats`] once per chain.
+#[derive(Clone, Copy, Debug, Default)]
+struct ChainAccum {
+    guest: u64,
+    cycles: u64,
+    mem_ops: u64,
+    scanned: u64,
+    entries: u64,
+    follows: u64,
+    lookups: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ChainLink {
+    /// Not yet resolved, or invalidated: consult the translation cache.
+    Unresolved,
+    /// The exit target is the entry of cached region `n`: continue there
+    /// directly, guest state staying resident in the VLIW register file.
+    Region(u32),
+}
+
 struct CachedRegion {
     vliw: VliwProgram,
     tag_origin: Vec<OpOrigin>,
@@ -82,6 +139,13 @@ struct CachedRegion {
     /// each exit (approximated by the exit op's position in the trace).
     exit_instrs: Vec<u64>,
     rollbacks: u64,
+    /// The region's entry block — the translation-cache key mapping here.
+    entry: BlockId,
+    /// Precomputed register write-set for masked checkpointing on the
+    /// resident dispatch path.
+    write_mask: RegionWriteMask,
+    /// Memoized region→region links, parallel to `vliw.exits`.
+    links: Vec<ChainLink>,
 }
 
 /// Why [`DynOptSystem::run_to_completion`] stopped.
@@ -93,6 +157,9 @@ pub enum StopReason {
     BudgetExhausted,
 }
 
+/// Sentinel for "no region cached for this block" in the flat cache.
+const NO_REGION: u32 = u32::MAX;
+
 /// The dynamic binary optimization system (paper Figure 1).
 pub struct DynOptSystem {
     program: Program,
@@ -100,9 +167,17 @@ pub struct DynOptSystem {
     interp: Interpreter,
     vstate: VliwState,
     sim: Simulator<AnyAliasHw>,
-    cache: HashMap<BlockId, usize>,
+    /// Flat translation cache: `cache[block.index()]` holds the region
+    /// index or [`NO_REGION`]. Replaces the per-block `HashMap` lookup of
+    /// the original dispatcher with one indexed load.
+    cache: Vec<u32>,
+    /// The `HashMap` cache the flat one replaced, kept in sync and
+    /// consulted only under [`DispatchMode::Naive`] so the retained
+    /// oracle measures the original dispatch cost faithfully.
+    naive_cache: HashMap<BlockId, usize>,
     regions: Vec<CachedRegion>,
-    abandoned: HashSet<BlockId>,
+    /// `abandoned[block.index()]`: translation permanently given up.
+    abandoned: Vec<bool>,
     blacklist: AliasBlacklist,
     stats: SystemStats,
     /// Allocator scratch recycled across every (re)translation.
@@ -116,15 +191,17 @@ impl DynOptSystem {
         let sim = Simulator::new(config.machine, hw);
         let mut interp = Interpreter::new();
         interp.load_data(&program);
+        let num_blocks = program.num_blocks();
         DynOptSystem {
             program,
             config,
             interp,
             vstate: VliwState::new(),
             sim,
-            cache: HashMap::new(),
+            cache: vec![NO_REGION; num_blocks],
+            naive_cache: HashMap::new(),
             regions: Vec::new(),
-            abandoned: HashSet::new(),
+            abandoned: vec![false; num_blocks],
             blacklist: AliasBlacklist::new(),
             stats: SystemStats::default(),
             scratch: AllocScratch::new(),
@@ -159,11 +236,14 @@ impl DynOptSystem {
     pub fn run_to_completion(&mut self, budget: u64) -> StopReason {
         let mut cur = self.program.entry();
         loop {
-            if self.stats.guest_instrs() >= budget {
+            if self.live_guest_instrs() >= budget {
                 self.sync_interp_stats();
                 return StopReason::BudgetExhausted;
             }
-            let next = self.step(cur);
+            let next = match self.config.dispatch {
+                DispatchMode::Naive => self.step_naive(cur),
+                DispatchMode::Chained => self.step_chained(cur, budget),
+            };
             match next {
                 Some(b) => cur = b,
                 None => {
@@ -174,29 +254,66 @@ impl DynOptSystem {
         }
     }
 
+    /// Guest instructions retired so far, computed live from the
+    /// interpreter counter so the budget check needs no per-block
+    /// [`SystemStats`] sync (stat syncing is batched to stop/boundary
+    /// points; see [`Self::sync_interp_stats`]).
+    #[inline]
+    fn live_guest_instrs(&self) -> u64 {
+        self.interp.executed_instrs() + self.stats.region_guest_instrs
+    }
+
     fn sync_interp_stats(&mut self) {
         self.stats.interp_instrs = self.interp.executed_instrs();
         self.stats.interp_cycles =
             self.stats.interp_instrs * self.config.machine.interp_cycles_per_instr;
     }
 
-    /// Executes one step at block `cur`: a translated region if cached,
-    /// otherwise one interpreted block (possibly triggering translation).
-    fn step(&mut self, cur: BlockId) -> Option<BlockId> {
-        if let Some(&idx) = self.cache.get(&cur) {
-            return self.run_region(cur, idx);
+    /// Flat-cache probe for the region cached at `b`, if any.
+    #[inline]
+    fn cached_region(&self, b: BlockId) -> Option<usize> {
+        match self.cache.get(b.index()) {
+            Some(&idx) if idx != NO_REGION => Some(idx as usize),
+            _ => None,
+        }
+    }
+
+    /// The original dispatcher, preserved as the oracle: one hash-map
+    /// lookup per guest block, full marshalling per region entry, stat
+    /// sync after every interpreted block.
+    fn step_naive(&mut self, cur: BlockId) -> Option<BlockId> {
+        self.stats.dispatch_lookups += 1;
+        if let Some(&idx) = self.naive_cache.get(&cur) {
+            return self.run_region_naive(cur, idx);
         }
         // Interpret one block.
         let next = self.interp.step_block(&self.program, cur);
         self.sync_interp_stats();
-        // Hot-block detection.
+        self.maybe_translate(cur);
+        next
+    }
+
+    /// The overhauled dispatcher: flat cache probe, then region chaining.
+    fn step_chained(&mut self, cur: BlockId, budget: u64) -> Option<BlockId> {
+        self.stats.dispatch_lookups += 1;
+        if let Some(idx) = self.cached_region(cur) {
+            return self.run_region_chained(idx, budget);
+        }
+        // Interpret one block; interpreter stats sync at stop/boundary
+        // only — the budget check reads the live counter instead.
+        let next = self.interp.step_block(&self.program, cur);
+        self.maybe_translate(cur);
+        next
+    }
+
+    /// Hot-block detection after an interpreted block.
+    fn maybe_translate(&mut self, cur: BlockId) {
         if self.interp.profile().block_count(cur) >= self.config.hot_threshold
-            && !self.cache.contains_key(&cur)
-            && !self.abandoned.contains(&cur)
+            && self.cached_region(cur).is_none()
+            && !self.abandoned[cur.index()]
         {
             self.translate(cur);
         }
-        next
     }
 
     fn translate(&mut self, entry: BlockId) {
@@ -241,14 +358,20 @@ impl DynOptSystem {
         }
 
         let exit_instrs = exit_instr_counts(&sb);
+        let write_mask = RegionWriteMask::of(&opt.vliw);
+        let links = vec![ChainLink::Unresolved; opt.vliw.exits.len()];
         self.regions.push(CachedRegion {
             vliw: opt.vliw,
             tag_origin: opt.tag_origin,
             sb,
             exit_instrs,
             rollbacks: 0,
+            entry,
+            write_mask,
+            links,
         });
-        self.cache.insert(entry, self.regions.len() - 1);
+        self.cache[entry.index()] = (self.regions.len() - 1) as u32;
+        self.naive_cache.insert(entry, self.regions.len() - 1);
         self.stats.regions_formed += 1;
         self.stats.per_region.push(RegionRecord {
             entry,
@@ -288,9 +411,36 @@ impl DynOptSystem {
         }
         self.regions[idx].vliw = opt.vliw;
         self.regions[idx].tag_origin = opt.tag_origin;
+        self.regions[idx].write_mask = RegionWriteMask::of(&self.regions[idx].vliw);
+        // The emitted code changed: drop the region's own memoized links
+        // and conservatively invalidate every link pointing at it.
+        let resolved = self.regions[idx]
+            .links
+            .iter()
+            .filter(|l| **l != ChainLink::Unresolved)
+            .count() as u64;
+        self.stats.chain_unlinks += resolved;
+        let exits = self.regions[idx].vliw.exits.len();
+        self.regions[idx].links = vec![ChainLink::Unresolved; exits];
+        self.unlink_into(idx);
         self.stats.retranslations += 1;
         self.stats.per_region[idx].retranslations += 1;
         self.stats.per_region[idx].opt = opt.stats;
+    }
+
+    /// Invalidates every memoized link targeting region `target` (called
+    /// when the target is retranslated or abandoned — a stale link would
+    /// otherwise chain into dead or outdated code).
+    fn unlink_into(&mut self, target: usize) {
+        let stale = ChainLink::Region(target as u32);
+        for r in &mut self.regions {
+            for l in &mut r.links {
+                if *l == stale {
+                    *l = ChainLink::Unresolved;
+                    self.stats.chain_unlinks += 1;
+                }
+            }
+        }
     }
 
     /// Statically verifies a freshly emitted translation (verify-on-emit
@@ -310,7 +460,19 @@ impl DynOptSystem {
         }
     }
 
-    fn run_region(&mut self, entry: BlockId, idx: usize) -> Option<BlockId> {
+    /// Folds one region execution's statistics into the system totals.
+    #[inline]
+    fn note_region_entry(&mut self, idx: usize, rstats: &RegionStats) {
+        self.stats.vliw_cycles += rstats.cycles;
+        self.stats.region_mem_ops += rstats.mem_ops;
+        self.stats.alias_entries_scanned += rstats.entries_scanned;
+        self.stats.region_entries += 1;
+        self.stats.per_region[idx].entries += 1;
+    }
+
+    /// One region execution under the naive dispatcher: guest registers
+    /// are marshalled into the VLIW state and back around every entry.
+    fn run_region_naive(&mut self, entry: BlockId, idx: usize) -> Option<BlockId> {
         self.vstate
             .load_guest(&self.interp.regs, &self.interp.fregs);
         let (outcome, rstats) = self
@@ -321,11 +483,7 @@ impl DynOptSystem {
                 &mut self.interp.mem,
             )
             .expect("translated region is well formed");
-        self.stats.vliw_cycles += rstats.cycles;
-        self.stats.region_mem_ops += rstats.mem_ops;
-        self.stats.alias_entries_scanned += rstats.entries_scanned;
-        self.stats.region_entries += 1;
-        self.stats.per_region[idx].entries += 1;
+        self.note_region_entry(idx, &rstats);
         match outcome {
             RegionOutcome::Exited { exit_id } => {
                 self.vstate
@@ -339,23 +497,148 @@ impl DynOptSystem {
             RegionOutcome::AliasException(v) => {
                 // Rolled back: record the pair, re-optimize conservatively,
                 // and make forward progress by interpreting one block.
-                self.stats.rollbacks += 1;
-                self.regions[idx].rollbacks += 1;
-                self.stats.per_region[idx].rollbacks += 1;
-                let a = self.regions[idx].tag_origin[v.checker_tag as usize];
-                let b = self.regions[idx].tag_origin[v.producer_tag as usize];
-                let fresh = self.blacklist.insert(a, b);
-                if !fresh || self.regions[idx].rollbacks > self.config.max_rollbacks_per_region {
-                    // Livelock backstop: abandon translation for this block.
-                    self.cache.remove(&entry);
-                    self.abandoned.insert(entry);
-                } else {
-                    self.retranslate(idx);
-                }
+                self.handle_alias_exception(idx, v);
                 let next = self.interp.step_block(&self.program, entry);
                 self.sync_interp_stats();
                 next
             }
+        }
+    }
+
+    /// Region execution under the chained dispatcher: follows memoized
+    /// region→region links in a tight loop. Guest state stays resident in
+    /// the VLIW register file for the whole chain and is marshalled back
+    /// to the interpreter only at the translated→interpreted boundary (or
+    /// after an alias-exception rollback).
+    fn run_region_chained(&mut self, idx: usize, budget: u64) -> Option<BlockId> {
+        let mut idx = idx;
+        self.vstate
+            .load_guest(&self.interp.regs, &self.interp.fregs);
+        // Chain-local accumulators, folded into `SystemStats` once per
+        // chain (and per region switch for the per-region entry counter)
+        // instead of half a dozen global read-modify-writes per entry.
+        // The interpreter cannot retire instructions while the chain
+        // runs, so the budget check is two local adds and a compare.
+        let guest_base = self.interp.executed_instrs() + self.stats.region_guest_instrs;
+        let mut acc = ChainAccum::default();
+        let mut run_idx = idx;
+        let mut run_entries = 0u64;
+        loop {
+            let region = &self.regions[idx];
+            let (outcome, rstats) = self
+                .sim
+                .run_region_resident(
+                    &region.vliw,
+                    region.write_mask,
+                    &mut self.vstate,
+                    &mut self.interp.mem,
+                )
+                .expect("translated region is well formed");
+            acc.cycles += rstats.cycles;
+            acc.mem_ops += rstats.mem_ops;
+            acc.scanned += rstats.entries_scanned;
+            acc.entries += 1;
+            run_entries += 1;
+            let exit_id = match outcome {
+                RegionOutcome::Exited { exit_id } => exit_id as usize,
+                RegionOutcome::AliasException(v) => {
+                    // The simulator rolled the resident state back to this
+                    // region's entry — even mid-chain, the checkpoint taken
+                    // at the chained entry is exactly the pre-region guest
+                    // state. Surface it to the interpreter, then fall back.
+                    self.vstate
+                        .store_guest(&mut self.interp.regs, &mut self.interp.fregs);
+                    self.stats.per_region[run_idx].entries += run_entries;
+                    self.flush_chain_stats(&acc);
+                    let entry = self.regions[idx].entry;
+                    self.handle_alias_exception(idx, v);
+                    return self.interp.step_block(&self.program, entry);
+                }
+            };
+            acc.guest += self.regions[idx].exit_instrs[exit_id];
+            // Resolve the exit: a memoized link, a fresh flat-cache probe,
+            // or a hand-off back to the interpreter.
+            let next_idx = match self.regions[idx].links[exit_id] {
+                ChainLink::Region(j) => j as usize,
+                ChainLink::Unresolved => {
+                    let Some(target) = self.regions[idx].vliw.exits[exit_id].guest_block else {
+                        // Guest halt.
+                        self.vstate
+                            .store_guest(&mut self.interp.regs, &mut self.interp.fregs);
+                        self.stats.per_region[run_idx].entries += run_entries;
+                        self.flush_chain_stats(&acc);
+                        return None;
+                    };
+                    acc.lookups += 1;
+                    match self.cached_region(BlockId(target)) {
+                        Some(j) => {
+                            self.regions[idx].links[exit_id] = ChainLink::Region(j as u32);
+                            j
+                        }
+                        None => {
+                            // Not cached (yet): never memoized, so a later
+                            // translation of the target is picked up here.
+                            self.vstate
+                                .store_guest(&mut self.interp.regs, &mut self.interp.fregs);
+                            self.stats.per_region[run_idx].entries += run_entries;
+                            self.flush_chain_stats(&acc);
+                            return Some(BlockId(target));
+                        }
+                    }
+                }
+            };
+            // Chain boundary: stop following links once the budget is
+            // spent so `run_to_completion` can observe it.
+            if guest_base + acc.guest >= budget {
+                self.vstate
+                    .store_guest(&mut self.interp.regs, &mut self.interp.fregs);
+                self.stats.per_region[run_idx].entries += run_entries;
+                self.flush_chain_stats(&acc);
+                return Some(self.regions[next_idx].entry);
+            }
+            acc.follows += 1;
+            if next_idx != run_idx {
+                self.stats.per_region[run_idx].entries += run_entries;
+                run_idx = next_idx;
+                run_entries = 0;
+            }
+            idx = next_idx;
+        }
+    }
+
+    /// Folds one chain's accumulated statistics into the system totals
+    /// (the per-region entry counters are flushed separately, on region
+    /// switch, by [`Self::run_region_chained`]).
+    fn flush_chain_stats(&mut self, acc: &ChainAccum) {
+        self.stats.region_guest_instrs += acc.guest;
+        self.stats.vliw_cycles += acc.cycles;
+        self.stats.region_mem_ops += acc.mem_ops;
+        self.stats.alias_entries_scanned += acc.scanned;
+        self.stats.region_entries += acc.entries;
+        self.stats.chain_follows += acc.follows;
+        self.stats.dispatch_lookups += acc.lookups;
+    }
+
+    /// Blacklists the faulting pair of a rolled-back region, then
+    /// retranslates it conservatively — or abandons it to interpretation
+    /// when blacklisting cannot converge. Both paths invalidate the chain
+    /// links into the region.
+    fn handle_alias_exception(&mut self, idx: usize, v: AliasViolation) {
+        self.stats.rollbacks += 1;
+        self.regions[idx].rollbacks += 1;
+        self.stats.per_region[idx].rollbacks += 1;
+        let a = self.regions[idx].tag_origin[v.checker_tag as usize];
+        let b = self.regions[idx].tag_origin[v.producer_tag as usize];
+        let fresh = self.blacklist.insert(a, b);
+        if !fresh || self.regions[idx].rollbacks > self.config.max_rollbacks_per_region {
+            // Livelock backstop: abandon translation for this block.
+            let entry = self.regions[idx].entry;
+            self.cache[entry.index()] = NO_REGION;
+            self.naive_cache.remove(&entry);
+            self.abandoned[entry.index()] = true;
+            self.unlink_into(idx);
+        } else {
+            self.retranslate(idx);
         }
     }
 }
@@ -632,6 +915,213 @@ mod tests {
         assert_eq!(sys.stats().regions_formed, 0);
         assert_eq!(sys.stats().vliw_cycles, 0);
         assert!(sys.stats().interp_instrs > 0);
+    }
+
+    /// Runs `p` to completion under the given dispatch mode.
+    fn run_mode(p: &Program, mode: DispatchMode) -> DynOptSystem {
+        let mut cfg = SystemConfig::with_opt(OptConfig::smarq(64));
+        cfg.dispatch = mode;
+        let mut sys = DynOptSystem::new(p.clone(), cfg);
+        assert_eq!(sys.run_to_completion(u64::MAX), StopReason::Halted);
+        sys
+    }
+
+    /// The chained dispatcher must be bit-exact with the naive oracle and
+    /// must actually bypass the dispatcher on the hot self-loop.
+    #[test]
+    fn chained_dispatch_is_bit_exact_and_skips_the_dispatcher() {
+        for p in [
+            accumulating_loop(800),
+            store_shadowed_loop(800),
+            truly_aliasing_loop(400),
+            two_phase_program(400),
+        ] {
+            let expected = reference_state(&p);
+            let naive = run_mode(&p, DispatchMode::Naive);
+            let chained = run_mode(&p, DispatchMode::Chained);
+            assert_eq!(naive.interp().arch_state(), expected);
+            assert_eq!(chained.interp().arch_state(), expected);
+            assert_eq!(
+                naive.stats().guest_instrs(),
+                chained.stats().guest_instrs(),
+                "batched stat syncing must not change totals"
+            );
+            assert_eq!(
+                naive.stats().region_entries,
+                chained.stats().region_entries,
+                "chaining changes dispatch, not execution"
+            );
+            assert_eq!(naive.stats().chain_follows, 0, "naive mode never chains");
+            assert!(
+                chained.stats().dispatch_lookups < naive.stats().dispatch_lookups,
+                "chaining must shed dispatcher work: {} !< {}",
+                chained.stats().dispatch_lookups,
+                naive.stats().dispatch_lookups
+            );
+        }
+    }
+
+    /// A hot self-loop region must chain to itself: almost every region
+    /// entry after warm-up follows the memoized link instead of probing
+    /// the translation cache.
+    #[test]
+    fn self_loop_chains_without_redispatch() {
+        let p = accumulating_loop(2000);
+        let sys = run_mode(&p, DispatchMode::Chained);
+        let s = sys.stats();
+        assert!(s.chain_follows > 0, "self-link must be followed");
+        assert!(
+            s.chain_follows >= s.region_entries - 2,
+            "steady state runs entirely on the chain: {} follows of {} entries",
+            s.chain_follows,
+            s.region_entries
+        );
+        assert!(
+            s.dispatch_lookups < s.region_entries / 2,
+            "chained entries must not re-enter the dispatcher ({} lookups, {} entries)",
+            s.dispatch_lookups,
+            s.region_entries
+        );
+    }
+
+    /// Outer loop over two hot inner loops with hot glue blocks: several
+    /// distinct regions form and chain region→region in a cycle.
+    fn ping_pong_program(outer: i64, inner: i64) -> Program {
+        let mut b = ProgramBuilder::new();
+        let entry = b.block();
+        let a = b.block();
+        let l1 = b.block();
+        let mid = b.block();
+        let l2 = b.block();
+        let tail = b.block();
+        let done = b.block();
+        b.iconst(entry, Reg(10), 0); // outer counter
+        b.iconst(entry, Reg(11), outer);
+        b.iconst(entry, Reg(12), inner);
+        b.iconst(entry, Reg(3), 0x1000);
+        b.iconst(entry, Reg(5), 0x2000);
+        b.jump(entry, a);
+        // A: reset the inner counter for loop 1.
+        b.iconst(a, Reg(1), 0);
+        b.jump(a, l1);
+        // L1: accumulate into [r3].
+        b.ld(l1, Reg(4), Reg(3), 0);
+        b.alu(l1, AluOp::Add, Reg(4), Reg(4), Reg(1));
+        b.st(l1, Reg(4), Reg(3), 0);
+        b.alu_imm(l1, AluOp::Add, Reg(1), Reg(1), 1);
+        b.branch(l1, CmpOp::Lt, Reg(1), Reg(12), l1, mid);
+        // mid: reset the inner counter for loop 2.
+        b.iconst(mid, Reg(1), 0);
+        b.jump(mid, l2);
+        // L2: copy [r3] into [r5+8] with a may-alias pair.
+        b.ld(l2, Reg(6), Reg(3), 0);
+        b.st(l2, Reg(6), Reg(5), 8);
+        b.alu_imm(l2, AluOp::Add, Reg(1), Reg(1), 1);
+        b.branch(l2, CmpOp::Lt, Reg(1), Reg(12), l2, tail);
+        // tail: outer backedge.
+        b.alu_imm(tail, AluOp::Add, Reg(10), Reg(10), 1);
+        b.branch(tail, CmpOp::Lt, Reg(10), Reg(11), a, done);
+        b.halt(done);
+        b.finish(entry)
+    }
+
+    /// Multiple distinct regions must chain into each other (not just the
+    /// self-link case) and stay bit-exact with the naive oracle.
+    #[test]
+    fn distinct_regions_chain_region_to_region() {
+        let p = ping_pong_program(300, 8);
+        let expected = reference_state(&p);
+        let naive = run_mode(&p, DispatchMode::Naive);
+        let chained = run_mode(&p, DispatchMode::Chained);
+        assert_eq!(naive.interp().arch_state(), expected);
+        assert_eq!(chained.interp().arch_state(), expected);
+        let s = chained.stats();
+        assert!(
+            s.regions_formed >= 3,
+            "inner loops and glue blocks must all get regions, got {}",
+            s.regions_formed
+        );
+        assert!(
+            s.chain_follows > s.region_entries / 2,
+            "most entries arrive over chain links: {} of {}",
+            s.chain_follows,
+            s.region_entries
+        );
+    }
+
+    /// Loop that truly aliases only after a warm phase: the exception
+    /// fires *inside a chained region* (entered over a memoized link).
+    /// The rollback must surface the resident state exactly, the chain
+    /// links must be invalidated, and blacklisting must re-converge.
+    fn late_aliasing_loop(iters: i64, flip: i64) -> Program {
+        let mut b = ProgramBuilder::new();
+        let entry = b.block();
+        let body = b.block();
+        let done = b.block();
+        b.iconst(entry, Reg(1), 0);
+        b.iconst(entry, Reg(2), iters);
+        b.iconst(entry, Reg(3), 0x1000);
+        b.iconst(entry, Reg(7), flip);
+        b.iconst(entry, Reg(8), 0x1000);
+        b.jump(entry, body);
+        // r5 = 0x1000 + (i < flip) * 0x1000: distinct address while warm,
+        // then exactly the store's address.
+        b.alu(body, AluOp::Slt, Reg(6), Reg(1), Reg(7));
+        b.alu(body, AluOp::Mul, Reg(6), Reg(6), Reg(8));
+        b.alu(body, AluOp::Add, Reg(5), Reg(3), Reg(6));
+        b.st(body, Reg(1), Reg(3), 0);
+        b.ld(body, Reg(4), Reg(5), 0); // may-alias; truly aliases at i >= flip
+        b.alu_imm(body, AluOp::Add, Reg(9), Reg(4), 0);
+        b.alu_imm(body, AluOp::Add, Reg(1), Reg(1), 1);
+        b.branch(body, CmpOp::Lt, Reg(1), Reg(2), body, done);
+        b.halt(done);
+        b.finish(entry)
+    }
+
+    #[test]
+    fn alias_exception_inside_chained_region_unlinks_and_reconverges() {
+        let p = late_aliasing_loop(500, 250);
+        let expected = reference_state(&p);
+        let sys = run_mode(&p, DispatchMode::Chained);
+        let s = sys.stats();
+        assert_eq!(
+            sys.interp().arch_state(),
+            expected,
+            "resident rollback is exact"
+        );
+        assert!(
+            s.chain_follows > 0,
+            "the faulting region was entered over a link"
+        );
+        assert!(s.rollbacks >= 1, "late aliasing must fault");
+        assert!(s.retranslations >= 1);
+        assert!(s.chain_unlinks >= 1, "retranslation must drop stale links");
+        assert!(!sys.blacklist().is_empty());
+        let last = s.per_region.last().unwrap();
+        assert!(last.rollbacks < 5, "blacklisting must converge");
+        // And the whole scenario is bit-exact with the naive oracle.
+        let naive = run_mode(&p, DispatchMode::Naive);
+        assert_eq!(naive.interp().arch_state(), expected);
+        assert_eq!(naive.stats().guest_instrs(), s.guest_instrs());
+    }
+
+    /// Abandoning a region mid-chain must unlink it so chained execution
+    /// can never re-enter dead code.
+    #[test]
+    fn abandoned_region_is_unlinked_from_chains() {
+        let p = late_aliasing_loop(400, 200);
+        let mut cfg = SystemConfig::with_opt(OptConfig::smarq(64));
+        cfg.dispatch = DispatchMode::Chained;
+        cfg.max_rollbacks_per_region = 0; // first fault abandons
+        let mut sys = DynOptSystem::new(p.clone(), cfg);
+        assert_eq!(sys.run_to_completion(u64::MAX), StopReason::Halted);
+        assert_eq!(sys.interp().arch_state(), reference_state(&p));
+        let s = sys.stats();
+        assert!(s.rollbacks >= 1);
+        assert!(
+            s.chain_unlinks >= 1,
+            "the abandoned region's self-link must be severed"
+        );
     }
 
     /// Verify-on-emit covers every translation AND retranslation, reports

@@ -37,4 +37,6 @@ pub use cache::{CacheParams, DCache};
 pub use isa::{AliasAnnot, Bundle, CondExit, ExitTarget, MemRange, SlotClass, VliwOp, VliwProgram};
 pub use machine::MachineConfig;
 pub use parse::parse_vliw;
-pub use sim::{RegionOutcome, RegionStats, SimError, Simulator, TraceEvent, VliwState};
+pub use sim::{
+    RegionOutcome, RegionStats, RegionWriteMask, SimError, Simulator, TraceEvent, VliwState,
+};

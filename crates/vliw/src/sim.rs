@@ -52,6 +52,65 @@ impl VliwState {
     }
 }
 
+/// Precomputed register write-sets of a region, as bitmasks over the two
+/// 64-entry files. The resident entry point
+/// ([`Simulator::run_region_resident`]) checkpoints **only** the
+/// registers a region can write: everything else is untouched by
+/// execution, so restoring the masked subset on rollback reproduces the
+/// entry state exactly. For small hot regions this turns the per-entry
+/// 1 KiB state clone into a handful of register saves — the point of
+/// keeping guest state resident across chained region executions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RegionWriteMask {
+    /// Bit `r` set: integer register `r` may be written.
+    pub ints: u64,
+    /// Bit `r` set: floating-point register `r` may be written.
+    pub fps: u64,
+}
+
+impl RegionWriteMask {
+    /// Every register of both files (the conservative full checkpoint).
+    pub fn full() -> Self {
+        RegionWriteMask {
+            ints: u64::MAX,
+            fps: u64::MAX,
+        }
+    }
+
+    /// `true` if the mask covers both whole files.
+    pub fn is_full(self) -> bool {
+        self.ints == u64::MAX && self.fps == u64::MAX
+    }
+
+    /// Scans `program` once and collects every destination register.
+    pub fn of(program: &VliwProgram) -> Self {
+        let mut m = RegionWriteMask::default();
+        for op in program.bundles.iter().flat_map(|b| &b.ops) {
+            match *op {
+                VliwOp::IConst { rd, .. }
+                | VliwOp::Alu { rd, .. }
+                | VliwOp::AluImm { rd, .. }
+                | VliwOp::Copy { rd, .. }
+                | VliwOp::FtoI { rd, .. }
+                | VliwOp::Load { rd, .. } => m.ints |= 1u64 << rd,
+                VliwOp::FConst { fd, .. }
+                | VliwOp::Fpu { fd, .. }
+                | VliwOp::FCopy { fd, .. }
+                | VliwOp::ItoF { fd, .. }
+                | VliwOp::FLoad { fd, .. } => m.fps |= 1u64 << fd,
+                VliwOp::Store { .. }
+                | VliwOp::FStore { .. }
+                | VliwOp::AlatClear { .. }
+                | VliwOp::Rotate { .. }
+                | VliwOp::Amov { .. }
+                | VliwOp::Exit { .. }
+                | VliwOp::Nop => {}
+            }
+        }
+        m
+    }
+}
+
 /// One issued bundle, reported through [`Simulator::run_region_traced`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct TraceEvent {
@@ -121,6 +180,20 @@ pub struct Simulator<H> {
     config: MachineConfig,
     hw: H,
     dcache: Option<DCache>,
+    /// Store undo log, recycled across region executions by the resident
+    /// entry point so steady-state entries never allocate.
+    undo_scratch: Vec<(u64, u64)>,
+    /// Masked register checkpoint, recycled like `undo_scratch`.
+    ckpt_ints: Vec<(u8, i64)>,
+    /// Masked FP register checkpoint.
+    ckpt_fps: Vec<(u8, f64)>,
+    /// Integer scoreboard (cycle each register's value is ready), kept
+    /// across region executions and re-zeroed per the region's write mask
+    /// on exit — all-zero between regions, without a 1 KiB memset per
+    /// entry.
+    int_ready: [u64; 64],
+    /// FP scoreboard, managed like `int_ready`.
+    fp_ready: [u64; 64],
 }
 
 impl<H: AliasHardware> Simulator<H> {
@@ -130,6 +203,32 @@ impl<H: AliasHardware> Simulator<H> {
             config,
             hw,
             dcache: config.dcache.map(DCache::new),
+            undo_scratch: Vec::new(),
+            ckpt_ints: Vec::new(),
+            ckpt_fps: Vec::new(),
+            int_ready: [0; 64],
+            fp_ready: [0; 64],
+        }
+    }
+
+    /// Restores the between-regions all-zero scoreboard invariant: only
+    /// registers in `mask` can have been marked ready, so only they need
+    /// clearing (a full mask keeps the plain memset).
+    fn clear_scoreboard(&mut self, mask: RegionWriteMask) {
+        if mask.is_full() {
+            self.int_ready = [0; 64];
+            self.fp_ready = [0; 64];
+        } else {
+            let mut m = mask.ints;
+            while m != 0 {
+                self.int_ready[m.trailing_zeros() as usize] = 0;
+                m &= m - 1;
+            }
+            let mut m = mask.fps;
+            while m != 0 {
+                self.fp_ready[m.trailing_zeros() as usize] = 0;
+                m &= m - 1;
+            }
         }
     }
 
@@ -172,7 +271,26 @@ impl<H: AliasHardware> Simulator<H> {
         state: &mut VliwState,
         mem: &mut Memory,
     ) -> Result<(RegionOutcome, RegionStats), SimError> {
-        self.run_region_traced(program, state, mem, |_| {})
+        self.run_region_core::<false>(program, RegionWriteMask::full(), state, mem, |_| {})
+    }
+
+    /// Resident entry point for chained dispatch: like
+    /// [`Simulator::run_region`], but checkpoints only the registers in
+    /// `mask` (the region's precomputed write-set, see
+    /// [`RegionWriteMask::of`]) and recycles the store undo log across
+    /// calls. Guest state stays wherever the caller keeps it — typically
+    /// resident in `state` across many back-to-back region executions.
+    ///
+    /// # Errors
+    /// [`SimError`] on malformed programs (translator bugs).
+    pub fn run_region_resident(
+        &mut self,
+        program: &VliwProgram,
+        mask: RegionWriteMask,
+        state: &mut VliwState,
+        mem: &mut Memory,
+    ) -> Result<(RegionOutcome, RegionStats), SimError> {
+        self.run_region_core::<false>(program, mask, state, mem, |_| {})
     }
 
     /// Like [`Simulator::run_region`], but invokes `trace` for every
@@ -185,6 +303,17 @@ impl<H: AliasHardware> Simulator<H> {
         program: &VliwProgram,
         state: &mut VliwState,
         mem: &mut Memory,
+        trace: impl FnMut(TraceEvent),
+    ) -> Result<(RegionOutcome, RegionStats), SimError> {
+        self.run_region_core::<true>(program, RegionWriteMask::full(), state, mem, trace)
+    }
+
+    fn run_region_core<const TRACED: bool>(
+        &mut self,
+        program: &VliwProgram,
+        mask: RegionWriteMask,
+        state: &mut VliwState,
+        mem: &mut Memory,
         mut trace: impl FnMut(TraceEvent),
     ) -> Result<(RegionOutcome, RegionStats), SimError> {
         let cfg = self.config;
@@ -194,13 +323,34 @@ impl<H: AliasHardware> Simulator<H> {
         };
 
         // Atomic region entry: checkpoint registers, reset detection state.
-        let checkpoint = state.clone();
-        let mut undo_log: Vec<(u64, u64)> = Vec::new();
+        // A full mask keeps the plain state clone (one memcpy); a region
+        // write-mask saves just the registers the region can clobber.
+        let full_checkpoint = if mask.is_full() {
+            Some(state.clone())
+        } else {
+            self.ckpt_ints.clear();
+            self.ckpt_fps.clear();
+            let mut m = mask.ints;
+            while m != 0 {
+                let r = m.trailing_zeros() as usize;
+                self.ckpt_ints.push((r as u8, state.regs[r]));
+                m &= m - 1;
+            }
+            let mut m = mask.fps;
+            while m != 0 {
+                let r = m.trailing_zeros() as usize;
+                self.ckpt_fps.push((r as u8, state.fregs[r]));
+                m &= m - 1;
+            }
+            None
+        };
+        self.undo_scratch.clear();
         self.hw.reset();
 
-        // Scoreboard: cycle at which each register's value is ready.
-        let mut int_ready = [0u64; 64];
-        let mut fp_ready = [0u64; 64];
+        // Scoreboard: cycle at which each register's value is ready. The
+        // arrays live in `self` and are all-zero on entry — every exit
+        // path re-zeroes exactly the write-masked registers, so a tiny
+        // chained region never pays a full-file sweep.
         let mut clock: u64 = cfg.checkpoint_cycles;
 
         let mut outcome: Option<RegionOutcome> = None;
@@ -210,24 +360,21 @@ impl<H: AliasHardware> Simulator<H> {
             // every slot is ready.
             let mut issue = clock;
             for op in &bundle.ops {
-                for r in int_sources(op) {
-                    issue = issue.max(int_ready[r as usize]);
-                }
-                for r in fp_sources(op) {
-                    issue = issue.max(fp_ready[r as usize]);
-                }
+                issue = stall_on_sources(issue, op, &self.int_ready, &self.fp_ready);
             }
             stats.bundles += 1;
             clock = issue + 1;
-            trace(TraceEvent {
-                bundle: bundle_index,
-                issue_cycle: issue,
-                ops: bundle
-                    .ops
-                    .iter()
-                    .filter(|o| !matches!(o, VliwOp::Nop))
-                    .count() as u32,
-            });
+            if TRACED {
+                trace(TraceEvent {
+                    bundle: bundle_index,
+                    issue_cycle: issue,
+                    ops: bundle
+                        .ops
+                        .iter()
+                        .filter(|o| !matches!(o, VliwOp::Nop))
+                        .count() as u32,
+                });
+            }
 
             for op in &bundle.ops {
                 if !matches!(op, VliwOp::Nop) {
@@ -237,41 +384,41 @@ impl<H: AliasHardware> Simulator<H> {
                     VliwOp::Nop => {}
                     VliwOp::IConst { rd, value } => {
                         state.regs[rd as usize] = value;
-                        int_ready[rd as usize] = issue + u64::from(cfg.lat_int);
+                        self.int_ready[rd as usize] = issue + u64::from(cfg.lat_int);
                     }
                     VliwOp::Alu { op, rd, ra, rb } => {
                         state.regs[rd as usize] =
                             op.apply(state.regs[ra as usize], state.regs[rb as usize]);
-                        int_ready[rd as usize] = issue + u64::from(cfg.alu_latency(op));
+                        self.int_ready[rd as usize] = issue + u64::from(cfg.alu_latency(op));
                     }
                     VliwOp::AluImm { op, rd, ra, imm } => {
                         state.regs[rd as usize] = op.apply(state.regs[ra as usize], imm);
-                        int_ready[rd as usize] = issue + u64::from(cfg.alu_latency(op));
+                        self.int_ready[rd as usize] = issue + u64::from(cfg.alu_latency(op));
                     }
                     VliwOp::Copy { rd, ra } => {
                         state.regs[rd as usize] = state.regs[ra as usize];
-                        int_ready[rd as usize] = issue + u64::from(cfg.lat_int);
+                        self.int_ready[rd as usize] = issue + u64::from(cfg.lat_int);
                     }
                     VliwOp::FConst { fd, value } => {
                         state.fregs[fd as usize] = value;
-                        fp_ready[fd as usize] = issue + u64::from(cfg.lat_int);
+                        self.fp_ready[fd as usize] = issue + u64::from(cfg.lat_int);
                     }
                     VliwOp::Fpu { op, fd, fa, fb } => {
                         state.fregs[fd as usize] =
                             op.apply(state.fregs[fa as usize], state.fregs[fb as usize]);
-                        fp_ready[fd as usize] = issue + u64::from(cfg.fpu_latency(op));
+                        self.fp_ready[fd as usize] = issue + u64::from(cfg.fpu_latency(op));
                     }
                     VliwOp::FCopy { fd, fa } => {
                         state.fregs[fd as usize] = state.fregs[fa as usize];
-                        fp_ready[fd as usize] = issue + u64::from(cfg.lat_int);
+                        self.fp_ready[fd as usize] = issue + u64::from(cfg.lat_int);
                     }
                     VliwOp::ItoF { fd, ra } => {
                         state.fregs[fd as usize] = state.regs[ra as usize] as f64;
-                        fp_ready[fd as usize] = issue + u64::from(cfg.lat_int);
+                        self.fp_ready[fd as usize] = issue + u64::from(cfg.lat_int);
                     }
                     VliwOp::FtoI { rd, fa } => {
                         state.regs[rd as usize] = state.fregs[fa as usize] as i64;
-                        int_ready[rd as usize] = issue + u64::from(cfg.lat_int);
+                        self.int_ready[rd as usize] = issue + u64::from(cfg.lat_int);
                     }
                     VliwOp::Load {
                         rd,
@@ -287,7 +434,7 @@ impl<H: AliasHardware> Simulator<H> {
                             break 'bundles;
                         }
                         state.regs[rd as usize] = mem.read(addr) as i64;
-                        int_ready[rd as usize] = issue + self.load_latency(addr);
+                        self.int_ready[rd as usize] = issue + self.load_latency(addr);
                     }
                     VliwOp::FLoad {
                         fd,
@@ -303,7 +450,7 @@ impl<H: AliasHardware> Simulator<H> {
                             break 'bundles;
                         }
                         state.fregs[fd as usize] = mem.read_f64(addr);
-                        fp_ready[fd as usize] = issue + self.load_latency(addr);
+                        self.fp_ready[fd as usize] = issue + self.load_latency(addr);
                     }
                     VliwOp::Store {
                         rs,
@@ -318,7 +465,7 @@ impl<H: AliasHardware> Simulator<H> {
                             outcome = Some(RegionOutcome::AliasException(v));
                             break 'bundles;
                         }
-                        undo_log.push((addr, mem.read(addr)));
+                        self.undo_scratch.push((addr, mem.read(addr)));
                         mem.write(addr, state.regs[rs as usize] as u64);
                         let _ = self.load_latency(addr); // write-allocate
                     }
@@ -335,7 +482,7 @@ impl<H: AliasHardware> Simulator<H> {
                             outcome = Some(RegionOutcome::AliasException(v));
                             break 'bundles;
                         }
-                        undo_log.push((addr, mem.read(addr)));
+                        self.undo_scratch.push((addr, mem.read(addr)));
                         mem.write_f64(addr, state.fregs[fs as usize]);
                         let _ = self.load_latency(addr); // write-allocate
                     }
@@ -344,6 +491,7 @@ impl<H: AliasHardware> Simulator<H> {
                     VliwOp::Amov { src, dst } => self.hw.amov(src, dst),
                     VliwOp::Exit { exit_id, cond } => {
                         if exit_id as usize >= program.exits.len() {
+                            self.clear_scoreboard(mask);
                             return Err(SimError::BadExitId { exit_id });
                         }
                         let take = match cond {
@@ -362,6 +510,7 @@ impl<H: AliasHardware> Simulator<H> {
         }
 
         stats.cycles = clock.max(stats.cycles);
+        self.clear_scoreboard(mask);
         match outcome {
             Some(RegionOutcome::Exited { exit_id }) => {
                 // Commit: keep state and memory.
@@ -369,8 +518,19 @@ impl<H: AliasHardware> Simulator<H> {
             }
             Some(RegionOutcome::AliasException(v)) => {
                 // Rollback: restore registers and memory, pay the penalty.
-                *state = checkpoint;
-                for (addr, old) in undo_log.into_iter().rev() {
+                match full_checkpoint {
+                    Some(cp) => *state = cp,
+                    None => {
+                        for &(r, v) in &self.ckpt_ints {
+                            state.regs[r as usize] = v;
+                        }
+                        for &(r, v) in &self.ckpt_fps {
+                            state.fregs[r as usize] = v;
+                        }
+                    }
+                }
+                for i in (0..self.undo_scratch.len()).rev() {
+                    let (addr, old) = self.undo_scratch[i];
                     mem.write(addr, old);
                 }
                 self.hw.reset();
@@ -400,7 +560,46 @@ impl<H: AliasHardware> Simulator<H> {
     }
 }
 
-/// Integer source registers of an op (for the scoreboard).
+/// Raises `issue` to the ready time of every source register of `op` —
+/// one flat match on the hot path instead of the iterator-based
+/// [`int_sources`]/[`fp_sources`] pair, which the unit tests keep it
+/// honest against.
+#[inline]
+fn stall_on_sources(mut issue: u64, op: &VliwOp, ir: &[u64; 64], fr: &[u64; 64]) -> u64 {
+    match *op {
+        VliwOp::Alu { ra, rb, .. } => issue = issue.max(ir[ra as usize]).max(ir[rb as usize]),
+        VliwOp::AluImm { ra, .. } | VliwOp::Copy { ra, .. } | VliwOp::ItoF { ra, .. } => {
+            issue = issue.max(ir[ra as usize]);
+        }
+        VliwOp::Load { base, .. } | VliwOp::FLoad { base, .. } => {
+            issue = issue.max(ir[base as usize]);
+        }
+        VliwOp::Store { rs, base, .. } => {
+            issue = issue.max(ir[rs as usize]).max(ir[base as usize]);
+        }
+        VliwOp::FStore { fs, base, .. } => {
+            issue = issue.max(ir[base as usize]).max(fr[fs as usize]);
+        }
+        VliwOp::Exit {
+            cond: Some(CondExit { ra, rb, .. }),
+            ..
+        } => issue = issue.max(ir[ra as usize]).max(ir[rb as usize]),
+        VliwOp::Fpu { fa, fb, .. } => issue = issue.max(fr[fa as usize]).max(fr[fb as usize]),
+        VliwOp::FCopy { fa, .. } | VliwOp::FtoI { fa, .. } => issue = issue.max(fr[fa as usize]),
+        VliwOp::Nop
+        | VliwOp::IConst { .. }
+        | VliwOp::FConst { .. }
+        | VliwOp::AlatClear { .. }
+        | VliwOp::Rotate { .. }
+        | VliwOp::Amov { .. }
+        | VliwOp::Exit { cond: None, .. } => {}
+    }
+    issue
+}
+
+/// Integer source registers of an op (the readable reference form of
+/// [`stall_on_sources`]; kept as the differential oracle for the tests).
+#[cfg(test)]
 fn int_sources(op: &VliwOp) -> impl Iterator<Item = u8> {
     let mut v: [Option<u8>; 2] = [None, None];
     match *op {
@@ -420,7 +619,8 @@ fn int_sources(op: &VliwOp) -> impl Iterator<Item = u8> {
     v.into_iter().flatten()
 }
 
-/// FP source registers of an op.
+/// FP source registers of an op (reference form, see [`int_sources`]).
+#[cfg(test)]
 fn fp_sources(op: &VliwOp) -> impl Iterator<Item = u8> {
     let mut v: [Option<u8>; 2] = [None, None];
     match *op {
@@ -633,6 +833,109 @@ mod tests {
         assert!(stats.cycles >= cfg.rollback_cycles);
     }
 
+    /// The masked-checkpoint resident path must roll back to exactly the
+    /// same state as the full clone, and the write-mask must cover every
+    /// destination register of the region.
+    #[test]
+    fn resident_rollback_matches_full_checkpoint() {
+        let p = exit_program(vec![
+            Bundle {
+                ops: vec![VliwOp::IConst {
+                    rd: 1,
+                    value: 0x100,
+                }],
+            },
+            Bundle {
+                ops: vec![VliwOp::Load {
+                    rd: 2,
+                    base: 1,
+                    disp: 0,
+                    alias: AliasAnnot::Smarq {
+                        p: true,
+                        c: false,
+                        offset: 0,
+                    },
+                    tag: 1,
+                }],
+            },
+            Bundle {
+                ops: vec![VliwOp::Store {
+                    rs: 1,
+                    base: 1,
+                    disp: 64,
+                    alias: AliasAnnot::None,
+                    tag: 2,
+                }],
+            },
+            Bundle {
+                ops: vec![VliwOp::Store {
+                    rs: 1,
+                    base: 1,
+                    disp: 0,
+                    alias: AliasAnnot::Smarq {
+                        p: false,
+                        c: true,
+                        offset: 0,
+                    },
+                    tag: 3,
+                }],
+            },
+        ]);
+        let mask = RegionWriteMask::of(&p);
+        assert_eq!(mask.ints, (1 << 1) | (1 << 2), "r1 and r2 are written");
+        assert_eq!(mask.fps, 0);
+        assert!(!mask.is_full());
+
+        let cfg = MachineConfig::default();
+        let mut sim = Simulator::new(cfg, SmarqQueueHw::new(cfg.num_alias_regs));
+        let mut st = VliwState::new();
+        // Resident junk outside the guest window must survive the region
+        // untouched (it is not in the write-set, so it is not saved).
+        st.regs[40] = -77;
+        st.fregs[41] = 3.5;
+        let mut mem = Memory::new();
+        mem.write(0x100, 7);
+        let st_before = st.clone();
+        let mem_before = mem.clone();
+        // Run twice through the same simulator: scratch reuse must not
+        // leak any state between executions.
+        for _ in 0..2 {
+            let (out, _) = sim
+                .run_region_resident(&p, mask, &mut st, &mut mem)
+                .unwrap();
+            assert!(matches!(out, RegionOutcome::AliasException(_)));
+            assert_eq!(st.regs, st_before.regs, "masked rollback is exact");
+            assert_eq!(st.fregs, st_before.fregs);
+            assert_eq!(mem, mem_before, "store undo log replayed");
+        }
+    }
+
+    /// A committed resident execution leaves exactly the registers in the
+    /// write mask updated.
+    #[test]
+    fn resident_commit_updates_only_written_registers() {
+        let p = exit_program(vec![Bundle {
+            ops: vec![
+                VliwOp::IConst { rd: 3, value: 9 },
+                VliwOp::FConst { fd: 2, value: 1.5 },
+            ],
+        }]);
+        let mask = RegionWriteMask::of(&p);
+        assert_eq!(mask.ints, 1 << 3);
+        assert_eq!(mask.fps, 1 << 2);
+        let mut sim = Simulator::new(MachineConfig::default(), NoAliasHw);
+        let mut st = VliwState::new();
+        st.regs[5] = 123;
+        let mut mem = Memory::new();
+        let (out, _) = sim
+            .run_region_resident(&p, mask, &mut st, &mut mem)
+            .unwrap();
+        assert_eq!(out, RegionOutcome::Exited { exit_id: 0 });
+        assert_eq!(st.regs[3], 9);
+        assert_eq!(st.fregs[2], 1.5);
+        assert_eq!(st.regs[5], 123, "unwritten registers keep their values");
+    }
+
     #[test]
     fn missing_exit_is_a_translator_bug() {
         let p = VliwProgram {
@@ -756,5 +1059,97 @@ mod trace_tests {
         sim.run_region_traced(&p, &mut st, &mut mem, |_| n += 1)
             .unwrap();
         assert_eq!(n, 1, "bundles after the taken exit never issue");
+    }
+
+    #[test]
+    fn stall_on_sources_matches_reference_source_sets() {
+        use smarq_guest::{AluOp, CmpOp, FpuOp};
+        // Every scoreboard slot gets a distinct ready time so any missed
+        // or extra source register changes the computed issue cycle.
+        let mut ir = [0u64; 64];
+        let mut fr = [0u64; 64];
+        for i in 0..64 {
+            ir[i] = 1_000 + i as u64;
+            fr[i] = 2_000 + i as u64;
+        }
+        let annot = AliasAnnot::None;
+        let ops = [
+            VliwOp::Nop,
+            VliwOp::IConst { rd: 1, value: 7 },
+            VliwOp::Alu {
+                op: AluOp::Add,
+                rd: 2,
+                ra: 3,
+                rb: 4,
+            },
+            VliwOp::AluImm {
+                op: AluOp::Mul,
+                rd: 2,
+                ra: 5,
+                imm: 3,
+            },
+            VliwOp::Copy { rd: 1, ra: 6 },
+            VliwOp::FConst { fd: 1, value: 1.5 },
+            VliwOp::Fpu {
+                op: FpuOp::Add,
+                fd: 1,
+                fa: 2,
+                fb: 3,
+            },
+            VliwOp::FCopy { fd: 1, fa: 4 },
+            VliwOp::ItoF { fd: 1, ra: 7 },
+            VliwOp::FtoI { rd: 1, fa: 5 },
+            VliwOp::Load {
+                rd: 1,
+                base: 8,
+                disp: 0,
+                alias: annot,
+                tag: 0,
+            },
+            VliwOp::Store {
+                rs: 9,
+                base: 10,
+                disp: 0,
+                alias: annot,
+                tag: 0,
+            },
+            VliwOp::FLoad {
+                fd: 1,
+                base: 11,
+                disp: 0,
+                alias: annot,
+                tag: 0,
+            },
+            VliwOp::FStore {
+                fs: 6,
+                base: 12,
+                disp: 0,
+                alias: annot,
+                tag: 0,
+            },
+            VliwOp::AlatClear { entry: 0 },
+            VliwOp::Rotate { amount: 1 },
+            VliwOp::Amov { src: 0, dst: 1 },
+            VliwOp::Exit {
+                exit_id: 0,
+                cond: None,
+            },
+            VliwOp::Exit {
+                exit_id: 0,
+                cond: Some(CondExit {
+                    op: CmpOp::Lt,
+                    ra: 13,
+                    rb: 14,
+                }),
+            },
+        ];
+        for op in &ops {
+            let fast = stall_on_sources(3, op, &ir, &fr);
+            let reference = int_sources(op)
+                .map(|r| ir[r as usize])
+                .chain(fp_sources(op).map(|r| fr[r as usize]))
+                .fold(3u64, u64::max);
+            assert_eq!(fast, reference, "issue stall differs for {op:?}");
+        }
     }
 }

@@ -1,0 +1,73 @@
+//! Corpus-wide differential for the chained dispatcher.
+//!
+//! Every minimized repro in `tests/corpus/` is executed twice through the
+//! full `DynOptSystem` — once with region chaining enabled (the default
+//! dispatcher: flat cache, memoized region→region links, resident guest
+//! state, batched stat sync) and once with `DispatchMode::Naive` (the
+//! seed's per-block hashmap dispatcher, retained as an oracle). The two
+//! runs must agree bit-exactly on final architectural state and on
+//! guest-instruction accounting, under every hardware scheme.
+//!
+//! The targeted mid-chain alias-exception tests (unlink, rollback,
+//! blacklist, re-convergence) live next to the dispatcher in
+//! `crates/runtime/src/system.rs`; this test is the breadth half.
+
+use smarq_fuzz::{load_dir, schemes};
+use smarq_runtime::{DispatchMode, DynOptSystem, SystemConfig};
+use std::path::Path;
+
+#[test]
+fn corpus_is_bit_exact_with_chaining_on_and_off() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let entries = load_dir(&dir).expect("corpus directory loads");
+    assert!(
+        !entries.is_empty(),
+        "no corpus entries in {}",
+        dir.display()
+    );
+
+    let mut chained_follows = 0u64;
+    for (path, program) in &entries {
+        for (label, opt) in schemes() {
+            let mut cfg = SystemConfig::with_opt(opt);
+            // Low threshold so the short corpus programs form regions.
+            cfg.hot_threshold = 10;
+
+            let mut chained_cfg = cfg.clone();
+            chained_cfg.dispatch = DispatchMode::Chained;
+            let mut chained = DynOptSystem::new(program.clone(), chained_cfg);
+            chained.run_to_completion(u64::MAX);
+
+            let mut naive_cfg = cfg;
+            naive_cfg.dispatch = DispatchMode::Naive;
+            let mut naive = DynOptSystem::new(program.clone(), naive_cfg);
+            naive.run_to_completion(u64::MAX);
+
+            assert_eq!(
+                chained.interp().arch_state(),
+                naive.interp().arch_state(),
+                "{} under {label}: chained and naive dispatch left \
+                 different architectural state",
+                path.display()
+            );
+            assert_eq!(
+                chained.stats().guest_instrs(),
+                naive.stats().guest_instrs(),
+                "{} under {label}: guest-instruction totals diverged",
+                path.display()
+            );
+            assert_eq!(
+                naive.stats().chain_follows,
+                0,
+                "{} under {label}: naive dispatch must never follow links",
+                path.display()
+            );
+            chained_follows += chained.stats().chain_follows;
+        }
+    }
+    assert!(
+        chained_follows > 0,
+        "no corpus entry ever followed a chain link; the differential \
+         is not exercising the chained fast path"
+    );
+}
