@@ -6,7 +6,7 @@
 //! `figures bench-json [OUT.json]` instead runs the before/after perf
 //! comparisons (see `smarq_bench::perf`) plus the serial-vs-parallel
 //! evaluation sweep and writes the JSON baseline (default
-//! `BENCH_PR1.json`). The convention: a PR claiming performance work
+//! `BENCH_PR6.json`). The convention: a PR claiming performance work
 //! commits the file this prints, named `BENCH_PR<n>.json`.
 
 use smarq_bench::{figures, perf, tables, Evaluation};
@@ -19,6 +19,8 @@ fn bench_json(out_path: &str) {
         perf::compare_mem_access_dense(),
         perf::compare_mem_access_sparse(),
         perf::compare_dispatch(),
+        perf::compare_exec_tier(),
+        perf::compare_exec_tier_mem(),
     ];
     for c in &comparisons {
         eprintln!("{}", c.report());
@@ -61,7 +63,7 @@ fn main() {
     if arg == "bench-json" {
         let out = std::env::args()
             .nth(2)
-            .unwrap_or_else(|| "BENCH_PR1.json".into());
+            .unwrap_or_else(|| "BENCH_PR6.json".into());
         bench_json(&out);
         return;
     }

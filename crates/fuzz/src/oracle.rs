@@ -7,7 +7,10 @@
 //!    bit-exactly under every hardware scheme. The same case is then
 //!    re-run with region chaining disabled ([`DispatchMode::Naive`]) and
 //!    the two dispatchers must agree on both the final architectural
-//!    state and the guest-instruction totals.
+//!    state and the guest-instruction totals. A third run with the fast
+//!    functional tier enabled ([`ExecTier::Functional`], sampling every
+//!    region entry) must likewise agree, with zero sampled tier-down
+//!    mismatches.
 //! 2. **Allocation validation** — every superblock the system formed is
 //!    re-optimized through [`smarq_opt::optimize_superblock_traced`] and
 //!    the resulting allocation is replayed symbolically by
@@ -35,7 +38,7 @@ use smarq::validate::validate_allocation;
 use smarq::{AliasCode, AllocScratch, Dep, DepGraph, MemOpId};
 use smarq_guest::{ArchState, Interpreter, Program, RunOutcome};
 use smarq_opt::{optimize_superblock_traced, OptConfig};
-use smarq_runtime::{DispatchMode, DynOptSystem, SystemConfig};
+use smarq_runtime::{DispatchMode, DynOptSystem, ExecTier, SystemConfig};
 
 /// Oracle budgets and system knobs.
 #[derive(Clone, Copy, Debug)]
@@ -98,6 +101,16 @@ pub enum Divergence {
         /// What differed between the two dispatchers.
         detail: String,
     },
+    /// Layer 1c: the fast functional tier diverged from the cycle
+    /// simulator — different final architectural state, different
+    /// guest-instruction accounting, or a sampled tier-down comparison
+    /// that came back non-bit-exact mid-run.
+    TierMismatch {
+        /// Scheme label from [`schemes`].
+        scheme: &'static str,
+        /// What differed between the functional tier and the cycle sim.
+        detail: String,
+    },
     /// Layer 2: the symbolic validator rejected a produced allocation.
     ValidatorReject {
         /// Scheme label.
@@ -144,6 +157,7 @@ impl Divergence {
             Divergence::Nontermination => "nontermination",
             Divergence::ArchMismatch { .. } => "arch-mismatch",
             Divergence::DispatchMismatch { .. } => "dispatch-mismatch",
+            Divergence::TierMismatch { .. } => "tier-mismatch",
             Divergence::ValidatorReject { .. } => "validator-reject",
             Divergence::StaticVerify { .. } => "static-verify",
             Divergence::DepGraphMismatch { .. } => "depgraph-mismatch",
@@ -167,6 +181,9 @@ impl std::fmt::Display for Divergence {
             }
             Divergence::DispatchMismatch { scheme, detail } => {
                 write!(f, "dispatch-mismatch under {scheme}: {detail}")
+            }
+            Divergence::TierMismatch { scheme, detail } => {
+                write!(f, "tier-mismatch under {scheme}: {detail}")
             }
             Divergence::ValidatorReject {
                 scheme,
@@ -205,6 +222,9 @@ pub struct OracleReport {
     pub schemes: usize,
     /// Chained-vs-naive dispatcher differentials that came out bit-exact.
     pub dispatch_differentials: usize,
+    /// Functional-tier-vs-cycle-sim differentials that came out bit-exact
+    /// (final state, instruction accounting, and every in-run sample).
+    pub tier_differentials: usize,
     /// Regions whose traces passed layers 2–4.
     pub regions_checked: usize,
     /// Allocations replayed by the validator.
@@ -294,6 +314,48 @@ pub fn check_program(program: &Program, params: &OracleParams) -> Result<OracleR
             });
         }
         report.dispatch_differentials += 1;
+
+        // Layer 1c: the fast functional tier vs the cycle simulator. Same
+        // program, same scheme, functional tier on with every region entry
+        // tier-down sampled: the final architectural state and the
+        // guest-instruction accounting must match the cycle-sim run above,
+        // and every in-run sample must have been bit-exact.
+        let mut fast_cfg = cfg.clone();
+        fast_cfg.exec_tier = ExecTier::Functional;
+        fast_cfg.tier_sample_interval = 1;
+        let mut fast_sys = DynOptSystem::new(program.clone(), fast_cfg);
+        fast_sys.run_to_completion(u64::MAX);
+        let fast_got = fast_sys.interp().arch_state();
+        if fast_got != expected {
+            return Err(Divergence::TierMismatch {
+                scheme: label,
+                detail: format!(
+                    "functional tier arch state: {}",
+                    arch_diff(&expected, &fast_got)
+                ),
+            });
+        }
+        if fast_sys.stats().guest_instrs() != sys.stats().guest_instrs() {
+            return Err(Divergence::TierMismatch {
+                scheme: label,
+                detail: format!(
+                    "guest_instrs: cycle-sim {} vs functional {}",
+                    sys.stats().guest_instrs(),
+                    fast_sys.stats().guest_instrs()
+                ),
+            });
+        }
+        if fast_sys.stats().tier_sample_mismatches != 0 {
+            return Err(Divergence::TierMismatch {
+                scheme: label,
+                detail: format!(
+                    "{} of {} tier-down samples were not bit-exact",
+                    fast_sys.stats().tier_sample_mismatches,
+                    fast_sys.stats().tier_samples
+                ),
+            });
+        }
+        report.tier_differentials += 1;
 
         // Layers 2 and 3 over every region the system actually formed.
         for (region, sb) in sys.formed_superblocks().enumerate() {
@@ -431,6 +493,7 @@ mod tests {
         let report = check_program(&p, &OracleParams::default()).expect("no divergence");
         assert_eq!(report.schemes, 6);
         assert_eq!(report.dispatch_differentials, 6);
+        assert_eq!(report.tier_differentials, 6);
         assert!(report.regions_checked > 0, "no regions formed");
         assert!(report.allocations_validated > 0, "no allocations replayed");
         assert!(

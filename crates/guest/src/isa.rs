@@ -89,6 +89,7 @@ pub enum AluOp {
 
 impl AluOp {
     /// Applies the operation.
+    #[inline]
     pub fn apply(self, a: i64, b: i64) -> i64 {
         match self {
             AluOp::Add => a.wrapping_add(b),
@@ -130,6 +131,7 @@ pub enum FpuOp {
 
 impl FpuOp {
     /// Applies the operation.
+    #[inline]
     pub fn apply(self, a: f64, b: f64) -> f64 {
         match self {
             FpuOp::Add => a + b,
@@ -157,6 +159,7 @@ pub enum CmpOp {
 
 impl CmpOp {
     /// Evaluates the predicate.
+    #[inline]
     pub fn eval(self, a: i64, b: i64) -> bool {
         match self {
             CmpOp::Eq => a == b,

@@ -27,11 +27,13 @@ impl Memory {
     }
 
     /// Reads the 8-byte word containing `addr`.
+    #[inline]
     pub fn read(&self, addr: u64) -> u64 {
         self.words.get(&(addr >> 3)).copied().unwrap_or(0)
     }
 
     /// Writes the 8-byte word containing `addr`.
+    #[inline]
     pub fn write(&mut self, addr: u64, value: u64) {
         if value == 0 {
             self.words.remove(&(addr >> 3));
@@ -41,11 +43,13 @@ impl Memory {
     }
 
     /// Reads an `f64` stored at `addr`.
+    #[inline]
     pub fn read_f64(&self, addr: u64) -> f64 {
         f64::from_bits(self.read(addr))
     }
 
     /// Writes an `f64` at `addr`.
+    #[inline]
     pub fn write_f64(&mut self, addr: u64, value: f64) {
         self.write(addr, value.to_bits());
     }

@@ -29,6 +29,7 @@ mod config;
 pub mod dag;
 pub mod elim;
 pub mod emit;
+pub mod fastcomp;
 pub mod sched;
 
 pub use blacklist::AliasBlacklist;

@@ -40,4 +40,4 @@ mod stats;
 mod system;
 
 pub use stats::{RegionRecord, SystemStats};
-pub use system::{DispatchMode, DynOptSystem, StopReason, SystemConfig};
+pub use system::{DispatchMode, DynOptSystem, ExecTier, StopReason, SystemConfig};

@@ -72,6 +72,24 @@ pub struct SystemStats {
     /// JSON-serialized diagnostics from verify-on-emit, capped at
     /// [`Self::VERIFY_DIAGNOSTIC_CAP`] entries.
     pub verify_diagnostics: Vec<String>,
+    /// Region entries executed on the fast-functional tier (these carry
+    /// no `vliw_cycles` — the fast tier has no timing model).
+    pub tier_fast_entries: u64,
+    /// Functional-tier entries that were also replayed on the cycle
+    /// simulator as tier-down samples.
+    pub tier_samples: u64,
+    /// Tier-down samples whose architectural result (outcome, register
+    /// files, memory) differed from the fast tier's. Always 0 for a
+    /// correct lowering — any other value is a fast-tier bug caught by
+    /// the sampling oracle.
+    pub tier_sample_mismatches: u64,
+    /// Alias exceptions taken on the functional tier (each deoptimizes
+    /// to the interpreter; also counted in `rollbacks`).
+    pub tier_deopts: u64,
+    /// Simulated cycles accumulated by tier-down samples. Kept out of
+    /// `vliw_cycles`: sampled runs are oracle work, not modeled guest
+    /// time.
+    pub tier_sampled_cycles: u64,
     /// Per-region records.
     pub per_region: Vec<RegionRecord>,
 }

@@ -2,16 +2,18 @@
 
 use crate::stats::{RegionRecord, SystemStats};
 use smarq::AllocScratch;
+use smarq_guest::Memory;
 use smarq_guest::{BlockId, Interpreter, Program};
 use smarq_ir::OpOrigin;
 use smarq_ir::{form_superblock, unroll_superblock, FormationParams, IrOp, Superblock};
+use smarq_opt::fastcomp::{self, FastProgram, FastSim};
 use smarq_opt::{
     optimize_superblock_traced, optimize_superblock_with_scratch, AliasBlacklist, OptConfig,
     OptTrace,
 };
 use smarq_vliw::{
-    AliasViolation, AnyAliasHw, MachineConfig, RegionOutcome, RegionStats, RegionWriteMask,
-    Simulator, VliwProgram, VliwState,
+    AliasViolation, AnyAliasHw, FastState, MachineConfig, RegionOutcome, RegionStats,
+    RegionWriteMask, Simulator, VliwProgram, VliwState,
 };
 use std::collections::HashMap;
 use std::time::Instant;
@@ -32,6 +34,25 @@ pub enum DispatchMode {
     /// executions, and stat syncing batched to stop/boundary points.
     #[default]
     Chained,
+}
+
+/// Which execution tier runs translated regions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ExecTier {
+    /// Every region execution runs on the cycle-level VLIW simulator —
+    /// full timing model, the configuration every cycle/energy statistic
+    /// assumes. The default.
+    #[default]
+    CycleSim,
+    /// Regions run on the fast-functional tier (`smarq_opt::fastcomp`):
+    /// architecturally bit-exact, no timing model. The cycle simulator
+    /// is retained as a sampled oracle — every
+    /// [`SystemConfig::tier_sample_interval`]-th region entry is
+    /// re-executed on it from the same pre-state and the architectural
+    /// results compared ([`SystemStats::tier_sample_mismatches`]).
+    /// Alias exceptions deoptimize to the interpreter through the same
+    /// checkpoint/blacklist/unlink machinery as the cycle tier.
+    Functional,
 }
 
 /// System configuration.
@@ -61,13 +82,34 @@ pub struct SystemConfig {
     /// Dispatch-path implementation (see [`DispatchMode`]). The chained
     /// dispatcher is the default; the naive one is the bit-exact oracle
     /// used by the differential tests and the `dispatch` perf comparison.
+    /// Only consulted on the cycle-sim tier — the functional tier has a
+    /// single (chained) dispatcher.
     pub dispatch: DispatchMode,
+    /// Execution tier for translated regions (see [`ExecTier`]).
+    /// Defaults to the `SMARQ_EXEC_TIER` environment variable
+    /// (`functional`, `fast` or `1` select the functional tier; read
+    /// once per process), otherwise the cycle simulator.
+    pub exec_tier: ExecTier,
+    /// On the functional tier, every `tier_sample_interval`-th region
+    /// entry is also executed on the cycle simulator from the same
+    /// pre-state and bit-compared (0 disables sampling). The first
+    /// functional entry is always sampled, so even short runs get one
+    /// cross-check.
+    pub tier_sample_interval: u64,
 }
 
 fn verify_from_env() -> bool {
     static FROM_ENV: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
     *FROM_ENV
         .get_or_init(|| std::env::var_os("SMARQ_VERIFY").is_some_and(|v| !v.is_empty() && v != "0"))
+}
+
+fn exec_tier_from_env() -> ExecTier {
+    static FROM_ENV: std::sync::OnceLock<ExecTier> = std::sync::OnceLock::new();
+    *FROM_ENV.get_or_init(|| match std::env::var_os("SMARQ_EXEC_TIER") {
+        Some(v) if v == "functional" || v == "fast" || v == "1" => ExecTier::Functional,
+        _ => ExecTier::CycleSim,
+    })
 }
 
 impl Default for SystemConfig {
@@ -86,6 +128,8 @@ impl Default for SystemConfig {
             max_rollbacks_per_region: 64,
             verify_translations: verify_from_env(),
             dispatch: DispatchMode::default(),
+            exec_tier: exec_tier_from_env(),
+            tier_sample_interval: 256,
         }
     }
 }
@@ -146,6 +190,10 @@ struct CachedRegion {
     write_mask: RegionWriteMask,
     /// Memoized region→region links, parallel to `vliw.exits`.
     links: Vec<ChainLink>,
+    /// Fast-functional lowering of `vliw`, compiled on install (and on
+    /// every retranslation) when the system runs the functional tier;
+    /// `None` on the cycle-sim tier.
+    fast: Option<FastProgram>,
 }
 
 /// Why [`DynOptSystem::run_to_completion`] stopped.
@@ -167,6 +215,15 @@ pub struct DynOptSystem {
     interp: Interpreter,
     vstate: VliwState,
     sim: Simulator<AnyAliasHw>,
+    /// Fast-functional executor (owns the tier's alias-detection state).
+    fast_sim: FastSim,
+    /// Resident register state of the functional tier.
+    fstate: FastState,
+    /// Functional entries left until the next tier-down sample (`0` when
+    /// sampling is disabled). A countdown instead of
+    /// `tier_fast_entries % interval` keeps the u64 divide off the
+    /// per-region-entry fast path.
+    tier_sample_countdown: u64,
     /// Flat translation cache: `cache[block.index()]` holds the region
     /// index or [`NO_REGION`]. Replaces the per-block `HashMap` lookup of
     /// the original dispatcher with one indexed load.
@@ -189,15 +246,22 @@ impl DynOptSystem {
     pub fn new(program: Program, config: SystemConfig) -> Self {
         let hw = AnyAliasHw::for_kind(config.opt.hw, config.opt.num_alias_regs);
         let sim = Simulator::new(config.machine, hw);
+        let fast_sim = FastSim::new(config.opt.hw, config.opt.num_alias_regs);
         let mut interp = Interpreter::new();
         interp.load_data(&program);
         let num_blocks = program.num_blocks();
+        // 1, not the interval: the very first functional entry is always
+        // cross-checked.
+        let sample_countdown = u64::from(config.tier_sample_interval != 0);
         DynOptSystem {
             program,
             config,
             interp,
             vstate: VliwState::new(),
             sim,
+            fast_sim,
+            fstate: FastState::new(),
+            tier_sample_countdown: sample_countdown,
             cache: vec![NO_REGION; num_blocks],
             naive_cache: HashMap::new(),
             regions: Vec::new(),
@@ -240,9 +304,13 @@ impl DynOptSystem {
                 self.sync_interp_stats();
                 return StopReason::BudgetExhausted;
             }
-            let next = match self.config.dispatch {
-                DispatchMode::Naive => self.step_naive(cur),
-                DispatchMode::Chained => self.step_chained(cur, budget),
+            let next = if self.config.exec_tier == ExecTier::Functional {
+                self.step_functional(cur, budget)
+            } else {
+                match self.config.dispatch {
+                    DispatchMode::Naive => self.step_naive(cur),
+                    DispatchMode::Chained => self.step_chained(cur, budget),
+                }
             };
             match next {
                 Some(b) => cur = b,
@@ -360,6 +428,7 @@ impl DynOptSystem {
         let exit_instrs = exit_instr_counts(&sb);
         let write_mask = RegionWriteMask::of(&opt.vliw);
         let links = vec![ChainLink::Unresolved; opt.vliw.exits.len()];
+        let fast = self.compile_fast(&opt.vliw);
         self.regions.push(CachedRegion {
             vliw: opt.vliw,
             tag_origin: opt.tag_origin,
@@ -369,6 +438,7 @@ impl DynOptSystem {
             entry,
             write_mask,
             links,
+            fast,
         });
         self.cache[entry.index()] = (self.regions.len() - 1) as u32;
         self.naive_cache.insert(entry, self.regions.len() - 1);
@@ -409,6 +479,7 @@ impl DynOptSystem {
         if let Some(trace) = trace {
             self.verify_emitted(idx, &trace);
         }
+        self.regions[idx].fast = self.compile_fast(&opt.vliw);
         self.regions[idx].vliw = opt.vliw;
         self.regions[idx].tag_origin = opt.tag_origin;
         self.regions[idx].write_mask = RegionWriteMask::of(&self.regions[idx].vliw);
@@ -603,6 +674,164 @@ impl DynOptSystem {
                 run_entries = 0;
             }
             idx = next_idx;
+        }
+    }
+
+    /// Lowers a freshly emitted region for the fast-functional tier —
+    /// only when that tier is actually selected, so cycle-sim runs pay
+    /// nothing for the feature existing.
+    fn compile_fast(&self, vliw: &VliwProgram) -> Option<FastProgram> {
+        (self.config.exec_tier == ExecTier::Functional)
+            .then(|| fastcomp::compile(vliw).expect("translated region is well formed"))
+    }
+
+    /// The functional-tier dispatcher: identical probe-and-chain shape to
+    /// [`Self::step_chained`], but cached regions run on the fast tier.
+    fn step_functional(&mut self, cur: BlockId, budget: u64) -> Option<BlockId> {
+        self.stats.dispatch_lookups += 1;
+        if let Some(idx) = self.cached_region(cur) {
+            return self.run_region_functional(idx, budget);
+        }
+        let next = self.interp.step_block(&self.program, cur);
+        self.maybe_translate(cur);
+        next
+    }
+
+    /// Region execution on the fast-functional tier: the chained-dispatch
+    /// loop of [`Self::run_region_chained`] with the guest state resident
+    /// in [`FastState`] and no cycle modeling. Periodically a region entry
+    /// is *sampled*: re-executed on the cycle simulator from the same
+    /// pre-state and bit-compared ([`Self::tier_down_sample`]). An alias
+    /// exception rolls the fast state back (checkpoint + store-undo log)
+    /// and deoptimizes to the interpreter through the same
+    /// blacklist/retranslate/unlink machinery as the cycle tier.
+    fn run_region_functional(&mut self, idx: usize, budget: u64) -> Option<BlockId> {
+        let mut idx = idx;
+        self.fstate
+            .load_guest(&self.interp.regs, &self.interp.fregs);
+        let guest_base = self.interp.executed_instrs() + self.stats.region_guest_instrs;
+        let mut acc = ChainAccum::default();
+        let mut run_idx = idx;
+        let mut run_entries = 0u64;
+        loop {
+            // Sampling decision *before* the fast run: the oracle needs
+            // the pre-state. The countdown starts at 1, so the very first
+            // functional entry is always cross-checked; `0` means
+            // sampling is disabled and stays disabled.
+            let sampled = self.tier_sample_countdown != 0 && {
+                self.tier_sample_countdown -= 1;
+                if self.tier_sample_countdown == 0 {
+                    self.tier_sample_countdown = self.config.tier_sample_interval;
+                    true
+                } else {
+                    false
+                }
+            };
+            let pre_mem = if sampled {
+                self.fstate.copy_to_vliw(&mut self.vstate);
+                Some(self.interp.mem.clone())
+            } else {
+                None
+            };
+            let fast = self.regions[idx]
+                .fast
+                .as_ref()
+                .expect("functional tier compiles regions on install");
+            let (outcome, rstats) =
+                self.fast_sim
+                    .run_region(fast, &mut self.fstate, &mut self.interp.mem);
+            self.stats.tier_fast_entries += 1;
+            // No cycles: the fast tier has no timing model. Sampled
+            // cycle-sim runs report into `tier_sampled_cycles` instead.
+            acc.mem_ops += rstats.mem_ops;
+            acc.scanned += rstats.entries_scanned;
+            acc.entries += 1;
+            run_entries += 1;
+            if let Some(mut mem) = pre_mem {
+                self.tier_down_sample(idx, &outcome, &mut mem);
+            }
+            let exit_id = match outcome {
+                RegionOutcome::Exited { exit_id } => exit_id as usize,
+                RegionOutcome::AliasException(v) => {
+                    // The fast executor rolled the resident state back to
+                    // the region entry; surface it and deoptimize.
+                    self.fstate
+                        .store_guest(&mut self.interp.regs, &mut self.interp.fregs);
+                    self.stats.per_region[run_idx].entries += run_entries;
+                    self.flush_chain_stats(&acc);
+                    self.stats.tier_deopts += 1;
+                    let entry = self.regions[idx].entry;
+                    self.handle_alias_exception(idx, v);
+                    return self.interp.step_block(&self.program, entry);
+                }
+            };
+            acc.guest += self.regions[idx].exit_instrs[exit_id];
+            let next_idx = match self.regions[idx].links[exit_id] {
+                ChainLink::Region(j) => j as usize,
+                ChainLink::Unresolved => {
+                    let Some(target) = self.regions[idx].vliw.exits[exit_id].guest_block else {
+                        self.fstate
+                            .store_guest(&mut self.interp.regs, &mut self.interp.fregs);
+                        self.stats.per_region[run_idx].entries += run_entries;
+                        self.flush_chain_stats(&acc);
+                        return None;
+                    };
+                    acc.lookups += 1;
+                    match self.cached_region(BlockId(target)) {
+                        Some(j) => {
+                            self.regions[idx].links[exit_id] = ChainLink::Region(j as u32);
+                            j
+                        }
+                        None => {
+                            self.fstate
+                                .store_guest(&mut self.interp.regs, &mut self.interp.fregs);
+                            self.stats.per_region[run_idx].entries += run_entries;
+                            self.flush_chain_stats(&acc);
+                            return Some(BlockId(target));
+                        }
+                    }
+                }
+            };
+            if guest_base + acc.guest >= budget {
+                self.fstate
+                    .store_guest(&mut self.interp.regs, &mut self.interp.fregs);
+                self.stats.per_region[run_idx].entries += run_entries;
+                self.flush_chain_stats(&acc);
+                return Some(self.regions[next_idx].entry);
+            }
+            acc.follows += 1;
+            if next_idx != run_idx {
+                self.stats.per_region[run_idx].entries += run_entries;
+                run_idx = next_idx;
+                run_entries = 0;
+            }
+            idx = next_idx;
+        }
+    }
+
+    /// Tier-down sample: replays the region entry the fast tier just ran
+    /// on the cycle simulator, starting from the identical pre-state
+    /// (`self.vstate` and `sim_mem` were captured before the fast run),
+    /// and bit-compares outcome, both register files and memory. The fast
+    /// result stays canonical either way; a disagreement only increments
+    /// [`SystemStats::tier_sample_mismatches`] for the oracles to flag.
+    fn tier_down_sample(&mut self, idx: usize, fast_outcome: &RegionOutcome, sim_mem: &mut Memory) {
+        let region = &self.regions[idx];
+        let (sim_outcome, sim_stats) = self
+            .sim
+            .run_region_resident(&region.vliw, region.write_mask, &mut self.vstate, sim_mem)
+            .expect("translated region is well formed");
+        self.stats.tier_samples += 1;
+        self.stats.tier_sampled_cycles += sim_stats.cycles;
+        let regs_agree = self.fstate.regs == self.vstate.regs
+            && self
+                .fstate
+                .fregs
+                .iter()
+                .zip(self.vstate.fregs.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        if sim_outcome != *fast_outcome || !regs_agree || *sim_mem != self.interp.mem {
+            self.stats.tier_sample_mismatches += 1;
         }
     }
 
@@ -1150,5 +1379,128 @@ mod tests {
         off.run_to_completion(u64::MAX);
         assert_eq!(off.stats().regions_verified, 0);
         assert!(off.stats().verify_diagnostics.is_empty());
+    }
+
+    /// Runs `p` to completion on the functional tier with the given
+    /// sampling interval.
+    fn run_functional(p: &Program, interval: u64) -> DynOptSystem {
+        let mut cfg = SystemConfig::with_opt(OptConfig::smarq(64));
+        cfg.exec_tier = ExecTier::Functional;
+        cfg.tier_sample_interval = interval;
+        let mut sys = DynOptSystem::new(p.clone(), cfg);
+        assert_eq!(sys.run_to_completion(u64::MAX), StopReason::Halted);
+        sys
+    }
+
+    /// The functional tier must be architecturally bit-exact with pure
+    /// interpretation AND with the chained cycle-sim dispatch on every
+    /// helper program, with every tier-down sample agreeing.
+    #[test]
+    fn functional_tier_is_bit_exact_with_agreeing_samples() {
+        for p in [
+            accumulating_loop(800),
+            store_shadowed_loop(800),
+            truly_aliasing_loop(400),
+            two_phase_program(400),
+            ping_pong_program(300, 8),
+            late_aliasing_loop(500, 250),
+        ] {
+            let expected = reference_state(&p);
+            let chained = run_mode(&p, DispatchMode::Chained);
+            let func = run_functional(&p, 16);
+            assert_eq!(func.interp().arch_state(), expected);
+            assert_eq!(
+                func.stats().guest_instrs(),
+                chained.stats().guest_instrs(),
+                "the tier changes execution speed, not coverage"
+            );
+            let s = func.stats();
+            assert!(s.tier_fast_entries > 0, "hot code runs on the fast tier");
+            assert!(s.tier_samples > 0, "sampling fired");
+            assert!(s.tier_samples <= s.tier_fast_entries);
+            assert_eq!(
+                s.tier_sample_mismatches, 0,
+                "every sampled entry agrees with the cycle sim"
+            );
+            assert!(s.tier_sampled_cycles > 0, "samples carry sim timing");
+        }
+    }
+
+    /// Tier-up policy: interpret → functional on region install. A cold
+    /// program never reaches the fast tier; a hot one moves its steady
+    /// state there and accrues no modeled region cycles.
+    #[test]
+    fn tier_up_happens_on_region_install() {
+        let cold = run_functional(&accumulating_loop(5), 16);
+        assert_eq!(cold.stats().regions_formed, 0);
+        assert_eq!(cold.stats().tier_fast_entries, 0);
+        assert!(cold.stats().interp_instrs > 0);
+
+        let hot = run_functional(&accumulating_loop(2000), 16);
+        let s = hot.stats();
+        assert!(s.regions_formed >= 1);
+        assert_eq!(
+            s.tier_fast_entries, s.region_entries,
+            "every region entry ran on the fast tier"
+        );
+        assert_eq!(s.vliw_cycles, 0, "no modeled cycles on the fast tier");
+        assert!(
+            s.chain_follows >= s.region_entries - 2,
+            "the functional dispatcher chains like the cycle-sim one"
+        );
+        // Work counters track the cycle tier exactly.
+        let chained = run_mode(&accumulating_loop(2000), DispatchMode::Chained);
+        assert!(s.region_mem_ops > 0);
+        assert_eq!(s.region_mem_ops, chained.stats().region_mem_ops);
+        assert_eq!(
+            s.alias_entries_scanned,
+            chained.stats().alias_entries_scanned
+        );
+    }
+
+    /// Tier-down on alias exception: the fast tier's rollback must hand
+    /// the interpreter the exact pre-region state, and the deopt must run
+    /// the same blacklist/retranslate machinery as the cycle tier.
+    #[test]
+    fn functional_tier_deopt_is_exact_and_converges() {
+        for p in [truly_aliasing_loop(400), late_aliasing_loop(500, 250)] {
+            let expected = reference_state(&p);
+            let sys = run_functional(&p, 16);
+            let s = sys.stats();
+            assert_eq!(sys.interp().arch_state(), expected, "deopt state exact");
+            assert!(s.tier_deopts >= 1, "true aliasing must deopt");
+            assert_eq!(s.tier_deopts, s.rollbacks);
+            assert!(s.retranslations >= 1);
+            assert!(!sys.blacklist().is_empty());
+            let last = s.per_region.last().unwrap();
+            assert!(last.rollbacks < 5, "blacklisting must converge");
+        }
+    }
+
+    /// Interval 0 disables sampling entirely; execution stays exact.
+    #[test]
+    fn sampling_can_be_disabled() {
+        let p = accumulating_loop(1000);
+        let sys = run_functional(&p, 0);
+        assert_eq!(sys.interp().arch_state(), reference_state(&p));
+        assert_eq!(sys.stats().tier_samples, 0);
+        assert_eq!(sys.stats().tier_sampled_cycles, 0);
+        assert!(sys.stats().tier_fast_entries > 0);
+    }
+
+    /// Abandonment works from the fast tier too: a region past its
+    /// rollback budget falls back to interpretation permanently.
+    #[test]
+    fn functional_tier_abandonment_falls_back() {
+        let p = truly_aliasing_loop(300);
+        let expected = reference_state(&p);
+        let mut cfg = SystemConfig::with_opt(OptConfig::smarq(64));
+        cfg.exec_tier = ExecTier::Functional;
+        cfg.tier_sample_interval = 16;
+        cfg.max_rollbacks_per_region = 0;
+        let mut sys = DynOptSystem::new(p, cfg);
+        assert_eq!(sys.run_to_completion(u64::MAX), StopReason::Halted);
+        assert_eq!(sys.interp().arch_state(), expected);
+        assert!(sys.stats().tier_deopts >= 1);
     }
 }

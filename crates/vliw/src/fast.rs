@@ -1,0 +1,504 @@
+//! Fast-functional execution state: the compact register file the
+//! functional tier runs on, plus the inlined single-word SMARQ alias
+//! queue it uses in place of the generic hardware models.
+//!
+//! The cycle-level [`Simulator`](crate::Simulator) owns the timing model
+//! (scoreboard, issue, latencies); the functional tier reproduces only
+//! the *architectural* semantics — register/memory effects and alias
+//! exceptions — bit-exactly, so the cycle simulator can stay behind as a
+//! sampled timing/differential oracle. This module provides the pieces
+//! the tier shares with the rest of the machine substrate:
+//!
+//! * [`FastState`]: both register files plus the recycled store-undo log
+//!   and masked register checkpoint that make alias-exception rollback
+//!   exact without per-entry allocation;
+//! * [`FastAliasQueue`]: the SMARQ ordered queue flattened onto a single
+//!   `u64` occupancy word (hardware configurations have ≤ 64 alias
+//!   registers), replicating [`smarq::queue::AliasQueue`]'s first-hit
+//!   scan order, load-set filtering, rotation and AMOV semantics.
+//!
+//! The lowering from [`VliwProgram`](crate::VliwProgram) to the
+//! functional op stream, and the executor driving this state, live in
+//! `smarq_opt::fastcomp` (the optimizer owns region shape); marshalling
+//! in and out of guest registers and [`VliwState`] lives here so the
+//! runtime can tier-down a sampled execution onto the cycle simulator.
+
+use crate::isa::MemRange;
+use crate::sim::{RegionWriteMask, VliwState};
+use smarq_guest::Memory;
+
+/// Architectural state of the fast-functional tier: the 64+64 register
+/// files (guest state resident in the low 32 of each, like
+/// [`VliwState`]) plus the rollback machinery an atomic region needs —
+/// a masked register checkpoint and a store-undo log, both recycled
+/// across region entries so steady-state execution never allocates.
+#[derive(Clone, Debug)]
+pub struct FastState {
+    /// Integer register file.
+    pub regs: [i64; 64],
+    /// Floating-point register file.
+    pub fregs: [f64; 64],
+    /// Store-undo log `(addr, old_word)`, replayed in reverse on
+    /// rollback.
+    undo: Vec<(u64, u64)>,
+    /// Masked integer-register checkpoint (write-set registers only).
+    ckpt_ints: Vec<(u8, i64)>,
+    /// Masked FP-register checkpoint.
+    ckpt_fps: Vec<(u8, f64)>,
+}
+
+impl Default for FastState {
+    fn default() -> Self {
+        FastState {
+            regs: [0; 64],
+            fregs: [0.0; 64],
+            undo: Vec::new(),
+            ckpt_ints: Vec::new(),
+            ckpt_fps: Vec::new(),
+        }
+    }
+}
+
+impl FastState {
+    /// Creates a zeroed state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads guest registers (32+32) into the low half of the files.
+    pub fn load_guest(&mut self, regs: &[i64; 32], fregs: &[f64; 32]) {
+        self.regs[..32].copy_from_slice(regs);
+        self.fregs[..32].copy_from_slice(fregs);
+    }
+
+    /// Stores the low half of the files back to guest registers.
+    pub fn store_guest(&self, regs: &mut [i64; 32], fregs: &mut [f64; 32]) {
+        regs.copy_from_slice(&self.regs[..32]);
+        fregs.copy_from_slice(&self.fregs[..32]);
+    }
+
+    /// Copies both full register files into a [`VliwState`] — the
+    /// marshal-out used when a sampled execution tiers down onto the
+    /// cycle simulator from the fast tier's resident state.
+    pub fn copy_to_vliw(&self, vstate: &mut VliwState) {
+        vstate.regs = self.regs;
+        vstate.fregs = self.fregs;
+    }
+
+    /// Copies both full register files in from a [`VliwState`].
+    pub fn copy_from_vliw(&mut self, vstate: &VliwState) {
+        self.regs = vstate.regs;
+        self.fregs = vstate.fregs;
+    }
+
+    /// Atomic-region entry for a region that can fault: snapshots the
+    /// registers in `mask` (the region's write-set) and clears the
+    /// store-undo log. Regions that cannot raise an alias exception
+    /// skip this entirely — that is the fast tier's main win.
+    pub fn begin_region(&mut self, mask: RegionWriteMask) {
+        self.undo.clear();
+        self.ckpt_ints.clear();
+        self.ckpt_fps.clear();
+        let mut m = mask.ints;
+        while m != 0 {
+            let r = m.trailing_zeros() as usize;
+            self.ckpt_ints.push((r as u8, self.regs[r]));
+            m &= m - 1;
+        }
+        let mut m = mask.fps;
+        while m != 0 {
+            let r = m.trailing_zeros() as usize;
+            self.ckpt_fps.push((r as u8, self.fregs[r]));
+            m &= m - 1;
+        }
+    }
+
+    /// Logs the pre-store memory word for rollback.
+    #[inline]
+    pub fn log_store(&mut self, addr: u64, old: u64) {
+        self.undo.push((addr, old));
+    }
+
+    /// Alias-exception rollback: restores the checkpointed registers and
+    /// replays the store-undo log in reverse. Only meaningful after
+    /// [`FastState::begin_region`] on the same entry.
+    pub fn rollback(&mut self, mem: &mut Memory) {
+        for &(r, v) in &self.ckpt_ints {
+            self.regs[r as usize] = v;
+        }
+        for &(r, v) in &self.ckpt_fps {
+            self.fregs[r as usize] = v;
+        }
+        for i in (0..self.undo.len()).rev() {
+            let (addr, old) = self.undo[i];
+            mem.write(addr, old);
+        }
+        self.undo.clear();
+    }
+}
+
+/// Bitmask for physical slots `[a, b)` of a single-word queue.
+#[inline]
+fn span_mask(a: u32, b: u32) -> u64 {
+    debug_assert!(a <= b && b <= 64);
+    if b - a >= 64 {
+        u64::MAX
+    } else {
+        ((1u64 << (b - a)) - 1) << a
+    }
+}
+
+/// The SMARQ ordered alias register queue flattened onto one `u64`
+/// occupancy word — the inlined form the fast-functional tier uses for
+/// hardware-sized files (≤ 64 registers; larger files fall back to the
+/// generic [`AnyAliasHw`](crate::AnyAliasHw)).
+///
+/// Bit-exact with [`SmarqQueueHw`](crate::SmarqQueueHw) /
+/// [`smarq::queue::AliasQueue`]: checks scan offsets `from..n` in
+/// ascending order and report the *first* conflicting producer, loads
+/// skip load-set entries, rotation clears the registers that rotate
+/// out, and AMOV moves (or clears, for `src == dst`) a single entry.
+/// The unit tests drive both implementations through random operation
+/// sequences and assert identical observable behavior.
+#[derive(Clone, Debug)]
+pub struct FastAliasQueue {
+    /// Recorded access range per physical slot (valid where `occ` set).
+    ranges: Box<[MemRange]>,
+    /// Producer tag per physical slot (valid where `occ` set).
+    tags: Box<[u32]>,
+    /// Occupancy bitmask over physical slots.
+    occ: u64,
+    /// Set-by-load bitmask (meaningful only where `occ` is set).
+    by_load: u64,
+    /// Physical slot currently at offset 0.
+    base: u32,
+    /// Register count.
+    n: u32,
+}
+
+impl FastAliasQueue {
+    /// Creates a queue with `num_regs` registers, all free.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= num_regs <= 64` — the single-word fast form
+    /// only covers hardware-sized files.
+    pub fn new(num_regs: u32) -> Self {
+        assert!(
+            (1..=64).contains(&num_regs),
+            "fast alias queue covers 1..=64 registers, got {num_regs}"
+        );
+        FastAliasQueue {
+            ranges: vec![MemRange { lo: 0, hi: 0 }; num_regs as usize].into_boxed_slice(),
+            tags: vec![0; num_regs as usize].into_boxed_slice(),
+            occ: 0,
+            by_load: 0,
+            base: 0,
+            n: num_regs,
+        }
+    }
+
+    /// Register count.
+    pub fn num_regs(&self) -> u32 {
+        self.n
+    }
+
+    /// Clears every register and resets the base (atomic region entry).
+    #[inline]
+    pub fn reset(&mut self) {
+        self.occ = 0;
+        self.by_load = 0;
+        self.base = 0;
+    }
+
+    #[inline]
+    fn phys(&self, offset: u32) -> u32 {
+        debug_assert!(offset < self.n, "offset {offset} out of {} regs", self.n);
+        let p = self.base + offset;
+        if p >= self.n {
+            p - self.n
+        } else {
+            p
+        }
+    }
+
+    /// The physical runs covering offsets `from..n` in increasing-offset
+    /// order (the circular window splits into at most two linear runs).
+    #[inline]
+    fn window(&self, from: u32) -> [(u32, u32); 2] {
+        let start = self.phys(from);
+        let len = self.n - from;
+        if start + len <= self.n {
+            [(start, start + len), (0, 0)]
+        } else {
+            [(start, self.n), (0, start + len - self.n)]
+        }
+    }
+
+    /// **set** (`P` bit): records `range`/`tag` at `offset`.
+    #[inline]
+    pub fn set(&mut self, offset: u32, range: MemRange, tag: u32, is_load: bool) {
+        let idx = self.phys(offset);
+        self.ranges[idx as usize] = range;
+        self.tags[idx as usize] = tag;
+        self.occ |= 1u64 << idx;
+        if is_load {
+            self.by_load |= 1u64 << idx;
+        } else {
+            self.by_load &= !(1u64 << idx);
+        }
+    }
+
+    /// **check** (`C` bit): scans valid entries at offsets `>= offset`
+    /// in ascending order (loads skip load-set entries) and returns the
+    /// producer tag of the *first* one overlapping `range`, if any.
+    #[inline]
+    pub fn check_first(&self, offset: u32, is_load: bool, range: MemRange) -> Option<u32> {
+        let candidates = if is_load {
+            self.occ & !self.by_load
+        } else {
+            self.occ
+        };
+        for (a, b) in self.window(offset) {
+            let mut m = candidates & span_mask(a, b);
+            while m != 0 {
+                let idx = m.trailing_zeros() as usize;
+                if self.ranges[idx].overlaps(range) {
+                    return Some(self.tags[idx]);
+                }
+                m &= m - 1;
+            }
+        }
+        None
+    }
+
+    /// Number of valid entries a check starting at `offset` examines
+    /// (the energy proxy; a popcount over the occupancy window).
+    #[inline]
+    pub fn valid_from(&self, offset: u32) -> u32 {
+        let [r1, r2] = self.window(offset);
+        (self.occ & (span_mask(r1.0, r1.1) | span_mask(r2.0, r2.1))).count_ones()
+    }
+
+    /// **rotate k**: advances the base by `amount`, clearing the
+    /// registers that rotate out.
+    #[inline]
+    pub fn rotate(&mut self, amount: u32) {
+        debug_assert!(amount <= self.n, "rotation within file size");
+        // Offsets 0..amount occupy the physical window starting at base.
+        let start = self.base;
+        let released = if start + amount <= self.n {
+            span_mask(start, start + amount)
+        } else {
+            span_mask(start, self.n) | span_mask(0, start + amount - self.n)
+        };
+        self.occ &= !released;
+        self.base += amount;
+        if self.base >= self.n {
+            self.base -= self.n;
+        }
+    }
+
+    /// **AMOV src, dst**: moves the entry at `src` to `dst`, clearing
+    /// `src`; `src == dst` just clears. Moving an empty register clears
+    /// `dst` (exactly as the reference queue does).
+    #[inline]
+    pub fn amov(&mut self, src: u32, dst: u32) {
+        let sidx = self.phys(src);
+        let present = self.occ & (1u64 << sidx) != 0;
+        let was_load = self.by_load & (1u64 << sidx) != 0;
+        self.occ &= !(1u64 << sidx);
+        if src != dst {
+            let didx = self.phys(dst);
+            if present {
+                self.ranges[didx as usize] = self.ranges[sidx as usize];
+                self.tags[didx as usize] = self.tags[sidx as usize];
+                self.occ |= 1u64 << didx;
+            } else {
+                self.occ &= !(1u64 << didx);
+            }
+            if present && was_load {
+                self.by_load |= 1u64 << didx;
+            } else {
+                self.by_load &= !(1u64 << didx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alias_hw::{AliasHardware, SmarqQueueHw};
+    use crate::isa::AliasAnnot;
+    use smarq::prng::Prng;
+
+    #[test]
+    fn state_marshal_roundtrips() {
+        let mut fs = FastState::new();
+        let mut regs = [0i64; 32];
+        let mut fregs = [0f64; 32];
+        regs[5] = 99;
+        fregs[7] = 2.5;
+        fs.load_guest(&regs, &fregs);
+        assert_eq!(fs.regs[5], 99);
+        let mut r2 = [0i64; 32];
+        let mut f2 = [0f64; 32];
+        fs.store_guest(&mut r2, &mut f2);
+        assert_eq!(r2, regs);
+        assert_eq!(f2, fregs);
+
+        fs.regs[40] = -7;
+        fs.fregs[63] = 0.5;
+        let mut vs = VliwState::new();
+        fs.copy_to_vliw(&mut vs);
+        assert_eq!(vs.regs, fs.regs);
+        assert_eq!(vs.fregs, fs.fregs);
+        let mut back = FastState::new();
+        back.copy_from_vliw(&vs);
+        assert_eq!(back.regs, fs.regs);
+        assert_eq!(back.fregs, fs.fregs);
+    }
+
+    #[test]
+    fn masked_checkpoint_rollback_is_exact() {
+        let mut fs = FastState::new();
+        fs.regs[1] = 10;
+        fs.regs[40] = -77; // outside the mask: must survive untouched
+        fs.fregs[2] = 1.5;
+        let mut mem = Memory::new();
+        mem.write(0x100, 7);
+        let snapshot_regs = fs.regs;
+        let snapshot_fregs = fs.fregs;
+        let mem_before = mem.clone();
+
+        let mask = RegionWriteMask {
+            ints: (1 << 1) | (1 << 2),
+            fps: 1 << 2,
+        };
+        // Two entries through the same recycled buffers.
+        for _ in 0..2 {
+            fs.begin_region(mask);
+            fs.regs[1] = 999;
+            fs.regs[2] = 888;
+            fs.fregs[2] = 9.25;
+            fs.log_store(0x100, mem.read(0x100));
+            mem.write(0x100, 42);
+            fs.log_store(0x200, mem.read(0x200));
+            mem.write(0x200, 43);
+            fs.rollback(&mut mem);
+            assert_eq!(fs.regs, snapshot_regs);
+            assert_eq!(fs.fregs, snapshot_fregs);
+            assert_eq!(mem, mem_before, "undo log replayed in reverse");
+        }
+    }
+
+    /// Drives the fast single-word queue and the reference SMARQ
+    /// hardware through random operation sequences: every check must
+    /// agree on hit/miss, producer tag and examined-entry count.
+    #[test]
+    fn fast_queue_matches_reference_hardware() {
+        for &regs in &[1u32, 2, 5, 63, 64] {
+            let mut rng = Prng::new(u64::from(regs) * 977 + 5);
+            let mut fast = FastAliasQueue::new(regs);
+            let mut reference = SmarqQueueHw::new(regs);
+            let mut tag = 0u32;
+            for step in 0..600 {
+                match rng.bounded(8) {
+                    0..=4 => {
+                        // A memory access with random P/C bits.
+                        let p = rng.chance(1, 2);
+                        let c = rng.chance(1, 2);
+                        if !p && !c {
+                            continue;
+                        }
+                        let offset = rng.range_u32(0, regs);
+                        let is_load = rng.chance(1, 2);
+                        let addr = u64::from(rng.range_u32(0, 6)) * 8 + 0x100;
+                        let range = MemRange::word(addr);
+                        tag += 1;
+                        let annot = AliasAnnot::Smarq { p, c, offset };
+                        let expect = reference.mem_access(annot, range, is_load, tag);
+                        let mut examined = 0;
+                        let got = if c {
+                            examined = fast.valid_from(offset);
+                            fast.check_first(offset, is_load, range)
+                        } else {
+                            None
+                        };
+                        match expect {
+                            Ok(n) => {
+                                assert_eq!(got, None, "regs={regs} step={step}");
+                                assert_eq!(examined, n, "regs={regs} step={step}");
+                                if p {
+                                    fast.set(offset, range, tag, is_load);
+                                }
+                            }
+                            Err(v) => {
+                                assert_eq!(
+                                    got,
+                                    Some(v.producer_tag),
+                                    "regs={regs} step={step}: first-hit producer"
+                                );
+                            }
+                        }
+                    }
+                    5 => {
+                        let amount = rng.range_u32(0, regs.min(4) + 1);
+                        reference.rotate(amount);
+                        fast.rotate(amount);
+                    }
+                    6 => {
+                        let src = rng.range_u32(0, regs);
+                        let dst = rng.range_u32(0, regs);
+                        reference.amov(src, dst);
+                        fast.amov(src, dst);
+                    }
+                    _ => {
+                        if rng.chance(1, 8) {
+                            reference.reset();
+                            fast.reset();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_wraps_and_releases_like_the_paper() {
+        // Mirror the AliasQueue rotation test: set 0 and 1, rotate 1 —
+        // old offset 1 is now offset 0, the released slot is reusable.
+        let mut q = FastAliasQueue::new(2);
+        q.set(0, MemRange::word(0x100), 10, false);
+        q.set(1, MemRange::word(0x200), 11, false);
+        q.rotate(1);
+        assert_eq!(q.check_first(0, false, MemRange::word(0x200)), Some(11));
+        assert_eq!(q.check_first(0, false, MemRange::word(0x100)), None);
+        assert_eq!(q.valid_from(0), 1);
+        q.set(1, MemRange::word(0x300), 12, false);
+        assert_eq!(q.valid_from(0), 2);
+    }
+
+    #[test]
+    fn full_width_queue_edge_cases() {
+        // n = 64 exercises the shift-by-64 edge in the span masks.
+        let mut q = FastAliasQueue::new(64);
+        for off in 0..64 {
+            q.set(off, MemRange::word(0x100), off, false);
+        }
+        assert_eq!(q.valid_from(0), 64);
+        assert_eq!(q.check_first(0, false, MemRange::word(0x100)), Some(0));
+        q.rotate(64);
+        assert_eq!(q.valid_from(0), 0);
+        assert_eq!(q.check_first(0, false, MemRange::word(0x100)), None);
+    }
+
+    #[test]
+    fn load_checkers_skip_load_set_entries() {
+        let mut q = FastAliasQueue::new(4);
+        q.set(0, MemRange::word(0x100), 1, true);
+        q.set(1, MemRange::word(0x100), 2, false);
+        assert_eq!(q.check_first(0, true, MemRange::word(0x100)), Some(2));
+        assert_eq!(q.check_first(0, false, MemRange::word(0x100)), Some(1));
+    }
+}

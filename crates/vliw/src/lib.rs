@@ -25,6 +25,7 @@
 mod alias_hw;
 mod cache;
 mod disasm;
+mod fast;
 mod isa;
 mod machine;
 mod parse;
@@ -34,6 +35,7 @@ pub use alias_hw::{
     AlatHw, AliasHardware, AliasViolation, AnyAliasHw, EfficeonHw, HwKind, NoAliasHw, SmarqQueueHw,
 };
 pub use cache::{CacheParams, DCache};
+pub use fast::{FastAliasQueue, FastState};
 pub use isa::{AliasAnnot, Bundle, CondExit, ExitTarget, MemRange, SlotClass, VliwOp, VliwProgram};
 pub use machine::MachineConfig;
 pub use parse::parse_vliw;

@@ -4,6 +4,7 @@
 //! ```text
 //! smarq-run FILE.s [--hw smarq|smarq16|efficeon|alat|none]
 //!                  [--regs N] [--unroll N] [--budget N]
+//!                  [--dispatch naive|chained] [--exec-tier cycle|functional]
 //!                  [--dump-region] [--compare] [--verify]
 //! smarq-run lint PATH... [--json FILE]
 //! ```
@@ -12,9 +13,13 @@
 //! system forms for the given programs (or corpus directories) under every
 //! hardware scheme — see `crates/verify`. `--verify` enables the runtime's
 //! verify-on-emit mode for a normal run (also via `SMARQ_VERIFY=1`).
+//! `--exec-tier functional` runs optimized regions on the fast functional
+//! tier with sampled cycle-sim tier-down checks (also via
+//! `SMARQ_EXEC_TIER=functional`); `--dispatch naive` disables region
+//! chaining.
 
 use smarq_opt::OptConfig;
-use smarq_runtime::{DynOptSystem, SystemConfig};
+use smarq_runtime::{DispatchMode, DynOptSystem, ExecTier, SystemConfig};
 use std::process::ExitCode;
 
 struct Args {
@@ -23,6 +28,8 @@ struct Args {
     regs: u32,
     unroll: u32,
     budget: u64,
+    dispatch: Option<DispatchMode>,
+    exec_tier: Option<ExecTier>,
     dump_region: bool,
     compare: bool,
     verify: bool,
@@ -31,7 +38,8 @@ struct Args {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: smarq-run FILE.s [--hw smarq|smarq16|efficeon|alat|none] \
-         [--regs N] [--unroll N] [--budget N] [--dump-region] [--compare] [--verify]\n\
+         [--regs N] [--unroll N] [--budget N] [--dispatch naive|chained] \
+         [--exec-tier cycle|functional] [--dump-region] [--compare] [--verify]\n\
          \x20      smarq-run lint PATH... [--json FILE]"
     );
     ExitCode::from(2)
@@ -99,6 +107,8 @@ fn parse_args() -> Result<Args, ExitCode> {
         regs: 64,
         unroll: 1,
         budget: u64::MAX,
+        dispatch: None,
+        exec_tier: None,
         dump_region: false,
         compare: false,
         verify: false,
@@ -121,6 +131,26 @@ fn parse_args() -> Result<Args, ExitCode> {
             }
             "--budget" => {
                 args.budget = value("--budget")?.parse().map_err(|_| usage())?;
+            }
+            "--dispatch" => {
+                args.dispatch = Some(match value("--dispatch")?.as_str() {
+                    "naive" => DispatchMode::Naive,
+                    "chained" => DispatchMode::Chained,
+                    other => {
+                        eprintln!("unknown dispatch mode '{other}' (naive|chained)");
+                        return Err(usage());
+                    }
+                });
+            }
+            "--exec-tier" => {
+                args.exec_tier = Some(match value("--exec-tier")?.as_str() {
+                    "cycle" | "cycle-sim" => ExecTier::CycleSim,
+                    "functional" | "fast" => ExecTier::Functional,
+                    other => {
+                        eprintln!("unknown exec tier '{other}' (cycle|functional)");
+                        return Err(usage());
+                    }
+                });
             }
             "--dump-region" => args.dump_region = true,
             "--compare" => args.compare = true,
@@ -188,6 +218,13 @@ fn main() -> ExitCode {
     if args.verify {
         cfg.verify_translations = true;
     }
+    if let Some(d) = args.dispatch {
+        cfg.dispatch = d;
+    }
+    if let Some(t) = args.exec_tier {
+        cfg.exec_tier = t;
+    }
+    let tier = cfg.exec_tier;
     let mut sys = DynOptSystem::new(program.clone(), cfg);
     sys.run_to_completion(args.budget);
     let s = sys.stats();
@@ -203,6 +240,16 @@ fn main() -> ExitCode {
         "optimization:        {:.4}% of execution time",
         s.optimization_overhead() * 100.0
     );
+    if tier == ExecTier::Functional {
+        println!(
+            "functional tier:     {} fast entries, {} deopts, {} samples ({} mismatches, {} sampled cycles)",
+            s.tier_fast_entries,
+            s.tier_deopts,
+            s.tier_samples,
+            s.tier_sample_mismatches,
+            s.tier_sampled_cycles
+        );
+    }
     if s.regions_verified > 0 || s.verify_errors > 0 {
         println!(
             "verification:        {} region(s) statically verified, {} error(s)",

@@ -1,0 +1,90 @@
+//! Corpus-wide differential for the fast functional execution tier.
+//!
+//! Every minimized repro in `tests/corpus/` is executed twice through the
+//! full `DynOptSystem` — once on the default chained cycle simulator and
+//! once with `ExecTier::Functional` and every functional region entry
+//! tier-down sampled (`tier_sample_interval = 1`). The two runs must
+//! agree bit-exactly on final architectural state and guest-instruction
+//! accounting, and every in-run sample must have compared bit-exact,
+//! under every hardware scheme.
+//!
+//! The targeted tier-transition tests (tier-up on install, deopt state
+//! equivalence, sampling on/off, abandonment) live next to the tiering
+//! policy in `crates/runtime/src/system.rs`; this test is the breadth
+//! half.
+
+use smarq_fuzz::{load_dir, schemes};
+use smarq_runtime::{DynOptSystem, ExecTier, SystemConfig};
+use std::path::Path;
+
+#[test]
+fn corpus_is_bit_exact_across_execution_tiers() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let entries = load_dir(&dir).expect("corpus directory loads");
+    assert!(
+        !entries.is_empty(),
+        "no corpus entries in {}",
+        dir.display()
+    );
+
+    let mut fast_entries = 0u64;
+    let mut samples = 0u64;
+    for (path, program) in &entries {
+        for (label, opt) in schemes() {
+            let mut cfg = SystemConfig::with_opt(opt);
+            // Low threshold so the short corpus programs form regions.
+            cfg.hot_threshold = 10;
+            cfg.exec_tier = ExecTier::CycleSim;
+
+            let mut cycle = DynOptSystem::new(program.clone(), cfg.clone());
+            cycle.run_to_completion(u64::MAX);
+
+            let mut fast_cfg = cfg;
+            fast_cfg.exec_tier = ExecTier::Functional;
+            fast_cfg.tier_sample_interval = 1;
+            let mut fast = DynOptSystem::new(program.clone(), fast_cfg);
+            fast.run_to_completion(u64::MAX);
+
+            assert_eq!(
+                fast.interp().arch_state(),
+                cycle.interp().arch_state(),
+                "{} under {label}: functional tier and cycle sim left \
+                 different architectural state",
+                path.display()
+            );
+            assert_eq!(
+                fast.stats().guest_instrs(),
+                cycle.stats().guest_instrs(),
+                "{} under {label}: guest-instruction totals diverged",
+                path.display()
+            );
+            assert_eq!(
+                fast.stats().tier_sample_mismatches,
+                0,
+                "{} under {label}: {} of {} tier-down samples were not \
+                 bit-exact",
+                path.display(),
+                fast.stats().tier_sample_mismatches,
+                fast.stats().tier_samples
+            );
+            assert_eq!(
+                cycle.stats().tier_fast_entries,
+                0,
+                "{} under {label}: cycle-sim run must never enter the \
+                 functional tier",
+                path.display()
+            );
+            fast_entries += fast.stats().tier_fast_entries;
+            samples += fast.stats().tier_samples;
+        }
+    }
+    assert!(
+        fast_entries > 0,
+        "no corpus entry ever ran on the functional tier; the \
+         differential is not exercising the fast path"
+    );
+    assert!(
+        samples > 0,
+        "no functional region entry was ever tier-down sampled"
+    );
+}
