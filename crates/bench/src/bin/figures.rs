@@ -6,24 +6,33 @@
 //! `figures bench-json [OUT.json]` instead runs the before/after perf
 //! comparisons (see `smarq_bench::perf`) plus the serial-vs-parallel
 //! evaluation sweep and writes the JSON baseline (default
-//! `BENCH_PR6.json`). The convention: a PR claiming performance work
+//! `BENCH_PR7.json`). The convention: a PR claiming performance work
 //! commits the file this prints, named `BENCH_PR<n>.json`.
 
 use smarq_bench::{figures, perf, tables, Evaluation};
 
 fn bench_json(out_path: &str) {
     eprintln!("running before/after comparisons ...");
-    let comparisons = vec![
-        perf::compare_constraint_analysis(),
-        perf::compare_allocator(),
-        perf::compare_mem_access_dense(),
-        perf::compare_mem_access_sparse(),
-        perf::compare_dispatch(),
-        perf::compare_exec_tier(),
-        perf::compare_exec_tier_mem(),
+    // Report each comparison as it finishes: on a slow host the full set
+    // takes a while, and a silent multi-minute gap is indistinguishable
+    // from a hang.
+    type ComparisonFn = fn() -> smarq_bench::harness::Comparison;
+    let parts: [(&str, ComparisonFn); 8] = [
+        ("constraint_analysis", perf::compare_constraint_analysis),
+        ("allocator", perf::compare_allocator),
+        ("mem_access_dense", perf::compare_mem_access_dense),
+        ("mem_access_sparse", perf::compare_mem_access_sparse),
+        ("dispatch", perf::compare_dispatch),
+        ("exec_tier", perf::compare_exec_tier),
+        ("exec_tier_mem", perf::compare_exec_tier_mem),
+        ("async_translate", perf::compare_async_translate),
     ];
-    for c in &comparisons {
+    let mut comparisons = Vec::with_capacity(parts.len());
+    for (name, run) in parts {
+        eprintln!("[bench] {name} ...");
+        let c = run();
         eprintln!("{}", c.report());
+        comparisons.push(c);
     }
     eprintln!("measuring absolute simulator + validator throughput ...");
     let absolutes = vec![
@@ -63,7 +72,7 @@ fn main() {
     if arg == "bench-json" {
         let out = std::env::args()
             .nth(2)
-            .unwrap_or_else(|| "BENCH_PR6.json".into());
+            .unwrap_or_else(|| "BENCH_PR7.json".into());
         bench_json(&out);
         return;
     }

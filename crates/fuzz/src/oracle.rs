@@ -10,7 +10,10 @@
 //!    state and the guest-instruction totals. A third run with the fast
 //!    functional tier enabled ([`ExecTier::Functional`], sampling every
 //!    region entry) must likewise agree, with zero sampled tier-down
-//!    mismatches.
+//!    mismatches. A fourth run moves translation onto the async
+//!    background pipeline (a manually stepped depth-1 queue driven by a
+//!    seeded interleaving schedule) and must again be bit-exact — every
+//!    publish/execute/deopt interleaving is architecturally invisible.
 //! 2. **Allocation validation** — every superblock the system formed is
 //!    re-optimized through [`smarq_opt::optimize_superblock_traced`] and
 //!    the resulting allocation is replayed symbolically by
@@ -38,7 +41,7 @@ use smarq::validate::validate_allocation;
 use smarq::{AliasCode, AllocScratch, Dep, DepGraph, MemOpId};
 use smarq_guest::{ArchState, Interpreter, Program, RunOutcome};
 use smarq_opt::{optimize_superblock_traced, OptConfig};
-use smarq_runtime::{DispatchMode, DynOptSystem, ExecTier, SystemConfig};
+use smarq_runtime::{DispatchMode, DynOptSystem, ExecTier, StepExecutor, StopReason, SystemConfig};
 
 /// Oracle budgets and system knobs.
 #[derive(Clone, Copy, Debug)]
@@ -111,6 +114,18 @@ pub enum Divergence {
         /// What differed between the functional tier and the cycle sim.
         detail: String,
     },
+    /// Layer 1d: the async background translation pipeline diverged from
+    /// inline translation — different architectural state or different
+    /// guest-instruction accounting under a seeded publish/execute
+    /// interleaving schedule.
+    AsyncMismatch {
+        /// Scheme label from [`schemes`].
+        scheme: &'static str,
+        /// The schedule seed the divergence reproduces under.
+        seed: u64,
+        /// What differed between the async and inline runs.
+        detail: String,
+    },
     /// Layer 2: the symbolic validator rejected a produced allocation.
     ValidatorReject {
         /// Scheme label.
@@ -158,6 +173,7 @@ impl Divergence {
             Divergence::ArchMismatch { .. } => "arch-mismatch",
             Divergence::DispatchMismatch { .. } => "dispatch-mismatch",
             Divergence::TierMismatch { .. } => "tier-mismatch",
+            Divergence::AsyncMismatch { .. } => "async-mismatch",
             Divergence::ValidatorReject { .. } => "validator-reject",
             Divergence::StaticVerify { .. } => "static-verify",
             Divergence::DepGraphMismatch { .. } => "depgraph-mismatch",
@@ -185,6 +201,14 @@ impl std::fmt::Display for Divergence {
             Divergence::TierMismatch { scheme, detail } => {
                 write!(f, "tier-mismatch under {scheme}: {detail}")
             }
+            Divergence::AsyncMismatch {
+                scheme,
+                seed,
+                detail,
+            } => write!(
+                f,
+                "async-mismatch under {scheme} (seed {seed:#x}): {detail}"
+            ),
             Divergence::ValidatorReject {
                 scheme,
                 region,
@@ -225,6 +249,9 @@ pub struct OracleReport {
     /// Functional-tier-vs-cycle-sim differentials that came out bit-exact
     /// (final state, instruction accounting, and every in-run sample).
     pub tier_differentials: usize,
+    /// Async-pipeline-vs-inline differentials that came out bit-exact
+    /// under a seeded publish/execute interleaving schedule.
+    pub async_differentials: usize,
     /// Regions whose traces passed layers 2–4.
     pub regions_checked: usize,
     /// Allocations replayed by the validator.
@@ -356,6 +383,42 @@ pub fn check_program(program: &Program, params: &OracleParams) -> Result<OracleR
             });
         }
         report.tier_differentials += 1;
+
+        // Layer 1d: async background translation vs inline. Same program,
+        // same scheme, but translations flow through a manually stepped
+        // depth-1 pipeline whose publish points are interleaved against
+        // guest dispatch by a seeded xorshift schedule. Whatever the
+        // schedule — stale regions running, publishes landing mid-chain,
+        // deopts racing retranslations — the architectural state and the
+        // guest-instruction accounting must be bit-exact.
+        let seed = 0xa11a_5000 + report.schemes as u64;
+        let mut async_cfg = cfg.clone();
+        async_cfg.async_translate = true;
+        async_cfg.translate_queue_depth = 1;
+        let mut async_sys = DynOptSystem::with_executor(
+            program.clone(),
+            async_cfg,
+            Box::new(StepExecutor::manual(1)),
+        );
+        if async_sys.run_interleaved(seed, u64::MAX) != StopReason::Halted {
+            return Err(Divergence::AsyncMismatch {
+                scheme: label,
+                seed,
+                detail: "async run did not halt".to_string(),
+            });
+        }
+        let async_got = async_sys.interp().arch_state();
+        if async_got != expected {
+            return Err(Divergence::AsyncMismatch {
+                scheme: label,
+                seed,
+                detail: format!("async arch state: {}", arch_diff(&expected, &async_got)),
+            });
+        }
+        // (No guest_instrs comparison here: that counter reflects region
+        // shapes, and the async run legitimately forms regions from later
+        // profile snapshots than the inline run does.)
+        report.async_differentials += 1;
 
         // Layers 2 and 3 over every region the system actually formed.
         for (region, sb) in sys.formed_superblocks().enumerate() {
@@ -494,6 +557,7 @@ mod tests {
         assert_eq!(report.schemes, 6);
         assert_eq!(report.dispatch_differentials, 6);
         assert_eq!(report.tier_differentials, 6);
+        assert_eq!(report.async_differentials, 6);
         assert!(report.regions_checked > 0, "no regions formed");
         assert!(report.allocations_validated > 0, "no allocations replayed");
         assert!(

@@ -1360,4 +1360,223 @@ mod tests {
             assert_eq!(fmem, vmem);
         }
     }
+
+    /// Table-driven check of [`rep_run`]'s early-out contract at every
+    /// rep boundary: the reported iteration is 1-based, `0` means the
+    /// run completed, and the returned value reflects exactly the
+    /// updates applied up to (and including) the firing check.
+    #[test]
+    fn rep_run_early_out_table() {
+        struct Case {
+            name: &'static str,
+            v0: i64,
+            bound: i64,
+            n: u64,
+            imm: i64,
+            cmp: CmpOp,
+            want_v: i64,
+            want_taken: u64,
+        }
+        let cases = [
+            Case {
+                name: "fires on iteration 1",
+                v0: 0,
+                bound: 1,
+                n: 8,
+                imm: 1,
+                cmp: CmpOp::Ge,
+                want_v: 1,
+                want_taken: 1,
+            },
+            Case {
+                name: "fires mid-run",
+                v0: 0,
+                bound: 5,
+                n: 8,
+                imm: 1,
+                cmp: CmpOp::Ge,
+                want_v: 5,
+                want_taken: 5,
+            },
+            Case {
+                name: "fires exactly on the last rep",
+                v0: 0,
+                bound: 8,
+                n: 8,
+                imm: 1,
+                cmp: CmpOp::Ge,
+                want_v: 8,
+                want_taken: 8,
+            },
+            Case {
+                name: "one past the last rep: completes instead",
+                v0: 0,
+                bound: 9,
+                n: 8,
+                imm: 1,
+                cmp: CmpOp::Ge,
+                want_v: 8,
+                want_taken: 0,
+            },
+            Case {
+                name: "never fires",
+                v0: 0,
+                bound: 1000,
+                n: 8,
+                imm: 1,
+                cmp: CmpOp::Ge,
+                want_v: 8,
+                want_taken: 0,
+            },
+            Case {
+                name: "single-rep run fires",
+                v0: 41,
+                bound: 42,
+                n: 1,
+                imm: 1,
+                cmp: CmpOp::Eq,
+                want_v: 42,
+                want_taken: 1,
+            },
+            Case {
+                name: "single-rep run completes",
+                v0: 0,
+                bound: 42,
+                n: 1,
+                imm: 1,
+                cmp: CmpOp::Eq,
+                want_v: 1,
+                want_taken: 0,
+            },
+            Case {
+                name: "Ne fires as soon as the value moves off the bound",
+                v0: 7,
+                bound: 7,
+                n: 8,
+                imm: 1,
+                cmp: CmpOp::Ne,
+                want_v: 8,
+                want_taken: 1,
+            },
+            Case {
+                name: "Lt on a descending value fires mid-run",
+                v0: 3,
+                bound: 0,
+                n: 8,
+                imm: -1,
+                cmp: CmpOp::Lt,
+                want_v: -1,
+                want_taken: 4,
+            },
+            Case {
+                name: "wrapping update is two's-complement exact",
+                v0: i64::MAX,
+                bound: i64::MIN,
+                n: 4,
+                imm: 1,
+                cmp: CmpOp::Eq,
+                want_v: i64::MIN,
+                want_taken: 1,
+            },
+        ];
+        for c in &cases {
+            let (v, taken) = rep_run(c.v0, c.bound, c.n, |x| x.wrapping_add(c.imm), c.cmp);
+            assert_eq!(v, c.want_v, "{}: final value", c.name);
+            assert_eq!(taken, c.want_taken, "{}: exit iteration", c.name);
+        }
+    }
+
+    /// The executor's rep fast path at every boundary, against the cycle
+    /// simulator: a coalesced 6-rep run followed by a second fused pair
+    /// on a *different* induction register. Early-outs inside the run,
+    /// exactly at its end, and past it (falling through into the next
+    /// pair) must agree on outcome, registers and executed-op counts.
+    #[test]
+    fn rep_boundary_early_outs_match_cycle_sim() {
+        let rep_pair = |_: usize| {
+            vec![
+                VliwOp::AluImm {
+                    op: AluOp::Add,
+                    rd: 1,
+                    ra: 1,
+                    imm: 1,
+                },
+                VliwOp::Exit {
+                    exit_id: 1,
+                    cond: Some(CondExit {
+                        op: CmpOp::Ge,
+                        ra: 1,
+                        rb: 2,
+                    }),
+                },
+            ]
+        };
+        let program = VliwProgram {
+            bundles: (0..6)
+                .map(|i| Bundle { ops: rep_pair(i) })
+                .chain([
+                    // A second induction on r3 — cannot join the r1 run.
+                    Bundle {
+                        ops: vec![
+                            VliwOp::AluImm {
+                                op: AluOp::Add,
+                                rd: 3,
+                                ra: 3,
+                                imm: 1,
+                            },
+                            VliwOp::Exit {
+                                exit_id: 2,
+                                cond: Some(CondExit {
+                                    op: CmpOp::Ge,
+                                    ra: 3,
+                                    rb: 2,
+                                }),
+                            },
+                        ],
+                    },
+                    Bundle {
+                        ops: vec![VliwOp::Exit {
+                            exit_id: 0,
+                            cond: None,
+                        }],
+                    },
+                ])
+                .collect(),
+            exits: exit_targets(3),
+        };
+        let prog = compile(&program).unwrap();
+        assert!(
+            prog.ops()
+                .iter()
+                .any(|o| matches!(o, FastOp::AluImmExitIfRep { n: 6, .. })),
+            "the six identical pairs must coalesce into one run"
+        );
+        // bound=1..=6: exit at each rep boundary of the run (exit 1).
+        // bound=7 with r3 starting at 6: the run completes, the r3 pair
+        // fires instead (exit 2). bound=1000: everything falls through
+        // to the unconditional exit 0.
+        for bound in [1i64, 2, 3, 4, 5, 6, 7, 1000] {
+            let ((vout, vstats, vstate, _), (fout, fstats, fstate, _)) =
+                run_both(&program, |regs, _| {
+                    regs[1] = 0;
+                    regs[2] = bound;
+                    regs[3] = 6;
+                });
+            assert_eq!(fout, vout, "bound={bound}: outcome");
+            assert_eq!(fstate.regs, vstate.regs, "bound={bound}: registers");
+            assert_eq!(fstats.ops, vstats.ops, "bound={bound}: op accounting");
+            let expect_exit = match bound {
+                1..=6 => 1,
+                7 => 2,
+                _ => 0,
+            };
+            assert_eq!(
+                fout,
+                RegionOutcome::Exited {
+                    exit_id: expect_exit
+                },
+                "bound={bound}: rep-boundary exit routing"
+            );
+        }
+    }
 }

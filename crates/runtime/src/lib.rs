@@ -38,6 +38,11 @@
 
 mod stats;
 mod system;
+pub mod translate_service;
 
 pub use stats::{RegionRecord, SystemStats};
-pub use system::{DispatchMode, DynOptSystem, ExecTier, StopReason, SystemConfig};
+pub use system::{DispatchMode, DynOptSystem, ExecTier, RunStatus, StopReason, SystemConfig};
+pub use translate_service::{
+    FinishedTranslation, JobInput, JobKind, StepExecutor, ThreadedExecutor, TranslationExecutor,
+    TranslationJob, TranslationService,
+};

@@ -90,6 +90,32 @@ pub struct SystemStats {
     /// `vliw_cycles`: sampled runs are oracle work, not modeled guest
     /// time.
     pub tier_sampled_cycles: u64,
+    /// Translation jobs enqueued on the background service (async mode).
+    pub async_enqueued: u64,
+    /// Finished translations atomically published into the translation
+    /// cache at a dispatch boundary.
+    pub async_published: u64,
+    /// Finished translations rejected at publish because the world moved
+    /// while they were in flight: the entry was abandoned, its slot was
+    /// already taken, or the blacklist generation advanced (those are
+    /// resubmitted against the fresh snapshot).
+    pub async_publish_conflicts: u64,
+    /// Submissions dropped because the bounded job queue was full (the
+    /// block stays hot, so the next dispatch retries).
+    pub async_queue_full: u64,
+    /// Peak number of jobs in flight at once.
+    pub async_queue_peak: u64,
+    /// Region entries under a blacklist generation older than the
+    /// system's — executions of *stale* translations, the window async
+    /// publication opens while a fresher translation is produced.
+    pub async_stale_entries: u64,
+    /// Host nanoseconds translation workers spent producing regions — off
+    /// the guest's critical path (compare `translation_ns`, which is the
+    /// inline path's on-critical-path cost and stays 0 in async mode).
+    pub async_worker_ns: u64,
+    /// Host nanoseconds of translation bookkeeping left *on* the critical
+    /// path in async mode: job submission plus atomic publication.
+    pub async_stall_ns: u64,
     /// Per-region records.
     pub per_region: Vec<RegionRecord>,
 }
@@ -141,6 +167,15 @@ impl SystemStats {
         } else {
             self.alias_entries_scanned as f64 / self.region_mem_ops as f64
         }
+    }
+
+    /// Translation-stall cycles the async pipeline removed from the
+    /// guest's critical path, modeling the simulated core at 1 GHz
+    /// (1 cycle = 1 ns, like [`Self::optimization_overhead`]): worker
+    /// time that would have stalled the guest inline, minus the
+    /// submit/publish bookkeeping the async path still pays.
+    pub fn stall_cycles_avoided(&self) -> u64 {
+        self.async_worker_ns.saturating_sub(self.async_stall_ns)
     }
 
     /// Average memory operations per formed superblock (Figure 14).

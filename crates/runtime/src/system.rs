@@ -1,6 +1,10 @@
 //! The dynamic optimization system loop.
 
 use crate::stats::{RegionRecord, SystemStats};
+use crate::translate_service::{
+    FinishedTranslation, JobInput, JobKind, StepExecutor, ThreadedExecutor, TranslationExecutor,
+    TranslationJob, TranslationService,
+};
 use smarq::AllocScratch;
 use smarq_guest::Memory;
 use smarq_guest::{BlockId, Interpreter, Program};
@@ -16,6 +20,7 @@ use smarq_vliw::{
     RegionWriteMask, Simulator, VliwProgram, VliwState,
 };
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// How the runtime dispatches between interpreter and translated regions.
@@ -96,12 +101,36 @@ pub struct SystemConfig {
     /// functional entry is always sampled, so even short runs get one
     /// cross-check.
     pub tier_sample_interval: u64,
+    /// Run translation asynchronously: hot-region triggers enqueue a
+    /// [`TranslationJob`] on a bounded background service and the guest
+    /// keeps executing until the finished region is atomically published
+    /// at a dispatch boundary. Defaults to the `SMARQ_ASYNC_TRANSLATE`
+    /// environment variable (non-empty, non-`0` enables; read once per
+    /// process).
+    pub async_translate: bool,
+    /// Worker threads for the background translation pool. `0` selects
+    /// the deterministic auto-stepped executor ([`StepExecutor::auto`]):
+    /// no threads, each translation completes at the dispatch boundary
+    /// after its submission — async publish semantics with fully
+    /// reproducible timing.
+    pub translate_workers: u32,
+    /// Bound of the translation request queue. Submissions against a full
+    /// queue are dropped (and counted); the block stays hot, so the next
+    /// dispatch of it simply retries.
+    pub translate_queue_depth: u32,
 }
 
 fn verify_from_env() -> bool {
     static FROM_ENV: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
     *FROM_ENV
         .get_or_init(|| std::env::var_os("SMARQ_VERIFY").is_some_and(|v| !v.is_empty() && v != "0"))
+}
+
+fn async_from_env() -> bool {
+    static FROM_ENV: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FROM_ENV.get_or_init(|| {
+        std::env::var_os("SMARQ_ASYNC_TRANSLATE").is_some_and(|v| !v.is_empty() && v != "0")
+    })
 }
 
 fn exec_tier_from_env() -> ExecTier {
@@ -130,6 +159,9 @@ impl Default for SystemConfig {
             dispatch: DispatchMode::default(),
             exec_tier: exec_tier_from_env(),
             tier_sample_interval: 256,
+            async_translate: async_from_env(),
+            translate_workers: 1,
+            translate_queue_depth: 4,
         }
     }
 }
@@ -164,6 +196,10 @@ struct ChainAccum {
     entries: u64,
     follows: u64,
     lookups: u64,
+    /// Entries into regions whose blacklist snapshot is older than the
+    /// system's (stale translations kept running while a fresher one is
+    /// produced in the background; async mode only).
+    stale: u64,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -194,6 +230,12 @@ struct CachedRegion {
     /// every retranslation) when the system runs the functional tier;
     /// `None` on the cycle-sim tier.
     fast: Option<FastProgram>,
+    /// Blacklist generation this region was optimized against. Running a
+    /// region whose generation trails the system's is a *stale* execution
+    /// (legal — the alias hardware still catches every true aliasing —
+    /// but counted, because it is exactly the window async translation
+    /// opens).
+    blacklist_gen: u64,
 }
 
 /// Why [`DynOptSystem::run_to_completion`] stopped.
@@ -205,12 +247,24 @@ pub enum StopReason {
     BudgetExhausted,
 }
 
+/// Outcome of one bounded stepping call ([`DynOptSystem::run_bounded`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunStatus {
+    /// The step bound was reached; the guest can continue.
+    Running,
+    /// The guest program halted.
+    Halted,
+    /// The guest-instruction budget ran out.
+    BudgetExhausted,
+}
+
 /// Sentinel for "no region cached for this block" in the flat cache.
 const NO_REGION: u32 = u32::MAX;
 
 /// The dynamic binary optimization system (paper Figure 1).
 pub struct DynOptSystem {
-    program: Program,
+    /// Shared with in-flight translation jobs in async mode.
+    program: Arc<Program>,
     config: SystemConfig,
     interp: Interpreter,
     vstate: VliwState,
@@ -236,25 +290,70 @@ pub struct DynOptSystem {
     /// `abandoned[block.index()]`: translation permanently given up.
     abandoned: Vec<bool>,
     blacklist: AliasBlacklist,
+    /// Bumped on every fresh blacklist insert. In-flight translation jobs
+    /// snapshot it; publish rejects (and resubmits) results whose
+    /// snapshot trails it, and region entries under an older generation
+    /// count as stale executions.
+    blacklist_gen: u64,
     stats: SystemStats,
     /// Allocator scratch recycled across every (re)translation.
     scratch: AllocScratch,
+    /// The background translation service (async mode only).
+    service: Option<TranslationService>,
+    /// Resume point of [`Self::run_bounded`]: the next guest block to
+    /// dispatch, or `None` once the guest has halted.
+    cursor: Option<BlockId>,
 }
 
 impl DynOptSystem {
-    /// Creates a system for `program`.
+    /// Creates a system for `program`. When the config enables async
+    /// translation, the executor is chosen from it: a [`ThreadedExecutor`]
+    /// pool, or the deterministic [`StepExecutor::auto`] when
+    /// `translate_workers` is 0.
     pub fn new(program: Program, config: SystemConfig) -> Self {
+        let exec: Option<Box<dyn TranslationExecutor>> = config.async_translate.then(|| {
+            let depth = config.translate_queue_depth.max(1) as usize;
+            if config.translate_workers == 0 {
+                Box::new(StepExecutor::auto(depth)) as Box<dyn TranslationExecutor>
+            } else {
+                Box::new(ThreadedExecutor::new(
+                    config.translate_workers as usize,
+                    depth,
+                ))
+            }
+        });
+        Self::build(program, config, exec)
+    }
+
+    /// Creates a system translating asynchronously through the given
+    /// executor — the deterministic interleaving harness injects a
+    /// manually stepped [`StepExecutor`] here.
+    pub fn with_executor(
+        program: Program,
+        mut config: SystemConfig,
+        exec: Box<dyn TranslationExecutor>,
+    ) -> Self {
+        config.async_translate = true;
+        Self::build(program, config, Some(exec))
+    }
+
+    fn build(
+        program: Program,
+        config: SystemConfig,
+        exec: Option<Box<dyn TranslationExecutor>>,
+    ) -> Self {
         let hw = AnyAliasHw::for_kind(config.opt.hw, config.opt.num_alias_regs);
         let sim = Simulator::new(config.machine, hw);
         let fast_sim = FastSim::new(config.opt.hw, config.opt.num_alias_regs);
         let mut interp = Interpreter::new();
         interp.load_data(&program);
         let num_blocks = program.num_blocks();
+        let entry = program.entry();
         // 1, not the interval: the very first functional entry is always
         // cross-checked.
         let sample_countdown = u64::from(config.tier_sample_interval != 0);
         DynOptSystem {
-            program,
+            program: Arc::new(program),
             config,
             interp,
             vstate: VliwState::new(),
@@ -267,8 +366,11 @@ impl DynOptSystem {
             regions: Vec::new(),
             abandoned: vec![false; num_blocks],
             blacklist: AliasBlacklist::new(),
+            blacklist_gen: 0,
             stats: SystemStats::default(),
             scratch: AllocScratch::new(),
+            service: exec.map(|e| TranslationService::new(e, num_blocks)),
+            cursor: Some(entry),
         }
     }
 
@@ -296,13 +398,38 @@ impl DynOptSystem {
     }
 
     /// Runs until the guest halts or roughly `budget` guest instructions
-    /// have been retired.
+    /// have been retired. Resumes from where the previous call stopped
+    /// (budget-exhausted runs continue; a halted guest stays halted).
     pub fn run_to_completion(&mut self, budget: u64) -> StopReason {
-        let mut cur = self.program.entry();
-        loop {
+        match self.run_bounded(u64::MAX, budget) {
+            RunStatus::Halted => StopReason::Halted,
+            RunStatus::BudgetExhausted => StopReason::BudgetExhausted,
+            RunStatus::Running => unreachable!("u64::MAX dispatch steps"),
+        }
+    }
+
+    /// Runs at most `max_steps` dispatch steps (each an interpreted block
+    /// or a region chain), stopping earlier on guest halt or once roughly
+    /// `budget` guest instructions have retired. Finished background
+    /// translations are published at each step boundary — this is the
+    /// fine-grained clock the deterministic interleaving harness drives
+    /// guest progress with.
+    pub fn run_bounded(&mut self, max_steps: u64, budget: u64) -> RunStatus {
+        let Some(mut cur) = self.cursor else {
+            // Already halted: publishes may still be pending, but guest
+            // execution is over.
+            return RunStatus::Halted;
+        };
+        let mut steps = 0u64;
+        while steps < max_steps {
+            steps += 1;
+            if self.service.is_some() {
+                self.poll_translations();
+            }
             if self.live_guest_instrs() >= budget {
+                self.cursor = Some(cur);
                 self.sync_interp_stats();
-                return StopReason::BudgetExhausted;
+                return RunStatus::BudgetExhausted;
             }
             let next = if self.config.exec_tier == ExecTier::Functional {
                 self.step_functional(cur, budget)
@@ -315,11 +442,82 @@ impl DynOptSystem {
             match next {
                 Some(b) => cur = b,
                 None => {
+                    self.cursor = None;
                     self.sync_interp_stats();
-                    return StopReason::Halted;
+                    return RunStatus::Halted;
                 }
             }
         }
+        self.cursor = Some(cur);
+        self.sync_interp_stats();
+        RunStatus::Running
+    }
+
+    /// Runs to completion under a seeded pseudo-random interleaving of
+    /// guest dispatch steps and translation pipeline steps (compute /
+    /// release), using the manually stepped executor's hooks. The same
+    /// seed replays the exact same schedule — failures reported by the
+    /// race harness are reproducible from the seed alone, like fuzz
+    /// corpus entries.
+    pub fn run_interleaved(&mut self, seed: u64, budget: u64) -> StopReason {
+        let mut state = seed | 1;
+        loop {
+            let steps = 1 + xorshift64(&mut state) % 13;
+            match self.run_bounded(steps, budget) {
+                RunStatus::Halted => return StopReason::Halted,
+                RunStatus::BudgetExhausted => return StopReason::BudgetExhausted,
+                RunStatus::Running => {}
+            }
+            match xorshift64(&mut state) % 4 {
+                0 => {
+                    self.translation_compute_one();
+                }
+                1 => {
+                    self.translation_release_one();
+                }
+                2 => {
+                    self.translation_compute_one();
+                    self.translation_release_one();
+                }
+                _ => {} // let the guest run on
+            }
+        }
+    }
+
+    /// Translation jobs currently in flight (async mode; 0 otherwise).
+    pub fn translation_outstanding(&self) -> usize {
+        self.service.as_ref().map_or(0, |s| s.outstanding())
+    }
+
+    /// Steps one queued translation job to its computed stage (manual
+    /// step executors only; see [`TranslationExecutor::compute_one`]).
+    pub fn translation_compute_one(&mut self) -> bool {
+        self.service.as_mut().is_some_and(|s| s.compute_one())
+    }
+
+    /// Releases one computed translation for publication (manual step
+    /// executors only; see [`TranslationExecutor::release_one`]).
+    pub fn translation_release_one(&mut self) -> bool {
+        self.service.as_mut().is_some_and(|s| s.release_one())
+    }
+
+    /// Blocks until every in-flight translation has finished, publishing
+    /// each — the pipeline drain used at shutdown and by the benchmarks.
+    pub fn translation_drain(&mut self) {
+        loop {
+            let Some(fin) = self.service.as_mut().and_then(|s| s.take_blocking()) else {
+                return;
+            };
+            self.publish_translation(fin);
+        }
+    }
+
+    /// Test hook: force-submit a translation job for `entry`, bypassing
+    /// the hot-trigger and pending-job dedup (the double-publish race
+    /// tests need two in-flight jobs for the same block).
+    #[doc(hidden)]
+    pub fn debug_submit_translate(&mut self, entry: BlockId) {
+        self.submit_translate(entry);
     }
 
     /// Guest instructions retired so far, computed live from the
@@ -374,14 +572,204 @@ impl DynOptSystem {
         next
     }
 
-    /// Hot-block detection after an interpreted block.
+    /// Hot-block detection after an interpreted block. Inline mode
+    /// translates on the spot; async mode enqueues a job (unless one for
+    /// this entry is already in flight) and keeps going.
     fn maybe_translate(&mut self, cur: BlockId) {
         if self.interp.profile().block_count(cur) >= self.config.hot_threshold
             && self.cached_region(cur).is_none()
             && !self.abandoned[cur.index()]
         {
-            self.translate(cur);
+            match &self.service {
+                None => self.translate(cur),
+                Some(s) => {
+                    if !s.is_pending(cur) {
+                        self.submit_translate(cur);
+                    }
+                }
+            }
         }
+    }
+
+    /// Builds a translation job from the system's current configuration
+    /// and blacklist snapshot.
+    fn make_job(&self, kind: JobKind, input: JobInput) -> TranslationJob {
+        TranslationJob {
+            kind,
+            input,
+            program: Arc::clone(&self.program),
+            formation: self.config.formation,
+            unroll_factor: self.config.unroll_factor,
+            opt: self.config.opt.clone(),
+            machine: self.config.machine,
+            blacklist: self.blacklist.clone(),
+            blacklist_gen: self.blacklist_gen,
+            verify: self.config.verify_translations,
+            compile_fast: self.config.exec_tier == ExecTier::Functional,
+        }
+    }
+
+    /// Submits `job`, accounting the enqueue on the critical-path clock.
+    fn submit_job(&mut self, job: TranslationJob) {
+        let t0 = Instant::now();
+        let service = self.service.as_mut().expect("async mode");
+        if service.submit(job) {
+            self.stats.async_enqueued += 1;
+            let depth = service.outstanding() as u64;
+            self.stats.async_queue_peak = self.stats.async_queue_peak.max(depth);
+        } else {
+            self.stats.async_queue_full += 1;
+        }
+        self.stats.async_stall_ns += t0.elapsed().as_nanos() as u64;
+    }
+
+    /// Enqueues a first translation of `entry`: the profile is
+    /// snapshotted here, formation happens on the worker.
+    fn submit_translate(&mut self, entry: BlockId) {
+        let job = self.make_job(
+            JobKind::Translate { entry },
+            JobInput::Form {
+                profile: self.interp.profile().clone(),
+            },
+        );
+        self.submit_job(job);
+    }
+
+    /// Enqueues a conservative retranslation of region slot `idx`
+    /// (reusing its superblock — only the optimization re-runs, against
+    /// the just-grown blacklist).
+    fn submit_retranslate(&mut self, idx: usize) {
+        let job = self.make_job(
+            JobKind::Retranslate {
+                region: idx as u32,
+                entry: self.regions[idx].entry,
+            },
+            JobInput::Ready(Box::new(self.regions[idx].sb.clone())),
+        );
+        self.submit_job(job);
+    }
+
+    /// Publishes every finished translation the service has ready. Runs
+    /// on the execution thread at dispatch-step boundaries only — that
+    /// single-threaded discipline is what makes each publish atomic with
+    /// respect to guest execution (no region is entered mid-swap).
+    fn poll_translations(&mut self) {
+        loop {
+            let Some(fin) = self.service.as_mut().and_then(|s| s.take()) else {
+                return;
+            };
+            self.publish_translation(fin);
+        }
+    }
+
+    /// Atomically publishes one finished translation — or rejects it when
+    /// the world moved while it was in flight: the entry was abandoned,
+    /// the slot was taken, or the blacklist grew past the job's snapshot
+    /// (rejected results are resubmitted against the fresh snapshot, so
+    /// convergence matches the inline path).
+    fn publish_translation(&mut self, fin: FinishedTranslation) {
+        self.stats.async_worker_ns += fin.worker_ns;
+        let t0 = Instant::now();
+        let entry = fin.kind.entry();
+        if self.abandoned[entry.index()] || self.cached_region(entry).is_some() {
+            // Abandoned while in flight, or a duplicate/raced job already
+            // installed code for this entry: drop the result.
+            self.stats.async_publish_conflicts += 1;
+        } else if fin.blacklist_gen != self.blacklist_gen {
+            // The blacklist grew while this job ran; its schedule may
+            // still speculate on a known-aliasing pair. Re-optimize
+            // against the fresh snapshot (the formed superblock rides
+            // along, so only optimization re-runs).
+            self.stats.async_publish_conflicts += 1;
+            let job = self.make_job(fin.kind, JobInput::Ready(Box::new(fin.sb)));
+            self.submit_job(job);
+        } else {
+            match fin.kind {
+                JobKind::Translate { .. } => self.install_translation(fin),
+                JobKind::Retranslate { region, .. } => {
+                    self.install_retranslation(region as usize, fin)
+                }
+            }
+            self.stats.async_published += 1;
+        }
+        self.stats.async_stall_ns += t0.elapsed().as_nanos() as u64;
+    }
+
+    /// Installs a finished first translation as a new region (the async
+    /// twin of [`Self::translate`]'s install tail).
+    fn install_translation(&mut self, fin: FinishedTranslation) {
+        let entry = fin.kind.entry();
+        if fin.verified {
+            self.fold_verify_diags(&fin.diags);
+        }
+        let exit_instrs = exit_instr_counts(&fin.sb);
+        let write_mask = RegionWriteMask::of(&fin.opt.vliw);
+        let links = vec![ChainLink::Unresolved; fin.opt.vliw.exits.len()];
+        self.regions.push(CachedRegion {
+            vliw: fin.opt.vliw,
+            tag_origin: fin.opt.tag_origin,
+            sb: fin.sb,
+            exit_instrs,
+            rollbacks: 0,
+            entry,
+            write_mask,
+            links,
+            fast: fin.fast,
+            blacklist_gen: fin.blacklist_gen,
+        });
+        self.cache[entry.index()] = (self.regions.len() - 1) as u32;
+        self.naive_cache.insert(entry, self.regions.len() - 1);
+        self.stats.regions_formed += 1;
+        self.stats.per_region.push(RegionRecord {
+            entry,
+            opt: fin.opt.stats,
+            entries: 0,
+            rollbacks: 0,
+            retranslations: 0,
+        });
+    }
+
+    /// Re-publishes a finished retranslation into its existing region
+    /// slot (the async twin of [`Self::retranslate`]'s install tail; the
+    /// slot was unpublished when the deopt enqueued the job, so nothing
+    /// can have chained to it in between).
+    fn install_retranslation(&mut self, idx: usize, fin: FinishedTranslation) {
+        if fin.verified {
+            self.fold_verify_diags(&fin.diags);
+        }
+        let entry = self.regions[idx].entry;
+        self.regions[idx].fast = fin.fast;
+        self.regions[idx].vliw = fin.opt.vliw;
+        self.regions[idx].tag_origin = fin.opt.tag_origin;
+        self.regions[idx].write_mask = RegionWriteMask::of(&self.regions[idx].vliw);
+        let exits = self.regions[idx].vliw.exits.len();
+        self.regions[idx].links = vec![ChainLink::Unresolved; exits];
+        self.regions[idx].blacklist_gen = fin.blacklist_gen;
+        self.cache[entry.index()] = idx as u32;
+        self.naive_cache.insert(entry, idx);
+        self.stats.retranslations += 1;
+        self.stats.per_region[idx].retranslations += 1;
+        self.stats.per_region[idx].opt = fin.opt.stats;
+    }
+
+    /// Pulls region slot `idx` out of both translation caches and severs
+    /// every chain link in and out of it — after this, the region cannot
+    /// be dispatched or chained into, so an in-flight retranslation can
+    /// swap its code without racing execution.
+    fn unpublish(&mut self, idx: usize) {
+        let entry = self.regions[idx].entry;
+        self.cache[entry.index()] = NO_REGION;
+        self.naive_cache.remove(&entry);
+        let resolved = self.regions[idx]
+            .links
+            .iter()
+            .filter(|l| **l != ChainLink::Unresolved)
+            .count() as u64;
+        self.stats.chain_unlinks += resolved;
+        for l in &mut self.regions[idx].links {
+            *l = ChainLink::Unresolved;
+        }
+        self.unlink_into(idx);
     }
 
     fn translate(&mut self, entry: BlockId) {
@@ -439,6 +827,7 @@ impl DynOptSystem {
             write_mask,
             links,
             fast,
+            blacklist_gen: self.blacklist_gen,
         });
         self.cache[entry.index()] = (self.regions.len() - 1) as u32;
         self.naive_cache.insert(entry, self.regions.len() - 1);
@@ -493,6 +882,7 @@ impl DynOptSystem {
         self.stats.chain_unlinks += resolved;
         let exits = self.regions[idx].vliw.exits.len();
         self.regions[idx].links = vec![ChainLink::Unresolved; exits];
+        self.regions[idx].blacklist_gen = self.blacklist_gen;
         self.unlink_into(idx);
         self.stats.retranslations += 1;
         self.stats.per_region[idx].retranslations += 1;
@@ -520,6 +910,12 @@ impl DynOptSystem {
     /// `verify_errors` to decide whether to trust the run.
     fn verify_emitted(&mut self, region: usize, trace: &OptTrace) {
         let diags = smarq_verify::verify_trace(region, trace, self.config.opt.num_alias_regs);
+        self.fold_verify_diags(&diags);
+    }
+
+    /// Folds verify-on-emit findings (computed inline or on a worker)
+    /// into [`SystemStats`].
+    fn fold_verify_diags(&mut self, diags: &[smarq::Diagnostic]) {
         self.stats.regions_verified += 1;
         for d in diags {
             if d.severity == smarq::Severity::Error {
@@ -544,6 +940,9 @@ impl DynOptSystem {
     /// One region execution under the naive dispatcher: guest registers
     /// are marshalled into the VLIW state and back around every entry.
     fn run_region_naive(&mut self, entry: BlockId, idx: usize) -> Option<BlockId> {
+        if self.service.is_some() && self.regions[idx].blacklist_gen != self.blacklist_gen {
+            self.stats.async_stale_entries += 1;
+        }
         self.vstate
             .load_guest(&self.interp.regs, &self.interp.fregs);
         let (outcome, rstats) = self
@@ -591,11 +990,15 @@ impl DynOptSystem {
         // The interpreter cannot retire instructions while the chain
         // runs, so the budget check is two local adds and a compare.
         let guest_base = self.interp.executed_instrs() + self.stats.region_guest_instrs;
+        let async_mode = self.service.is_some();
         let mut acc = ChainAccum::default();
         let mut run_idx = idx;
         let mut run_entries = 0u64;
         loop {
             let region = &self.regions[idx];
+            if async_mode && region.blacklist_gen != self.blacklist_gen {
+                acc.stale += 1;
+            }
             let (outcome, rstats) = self
                 .sim
                 .run_region_resident(
@@ -710,10 +1113,14 @@ impl DynOptSystem {
         self.fstate
             .load_guest(&self.interp.regs, &self.interp.fregs);
         let guest_base = self.interp.executed_instrs() + self.stats.region_guest_instrs;
+        let async_mode = self.service.is_some();
         let mut acc = ChainAccum::default();
         let mut run_idx = idx;
         let mut run_entries = 0u64;
         loop {
+            if async_mode && self.regions[idx].blacklist_gen != self.blacklist_gen {
+                acc.stale += 1;
+            }
             // Sampling decision *before* the fast run: the oracle needs
             // the pre-state. The countdown starts at 1, so the very first
             // functional entry is always cross-checked; `0` means
@@ -846,6 +1253,7 @@ impl DynOptSystem {
         self.stats.region_entries += acc.entries;
         self.stats.chain_follows += acc.follows;
         self.stats.dispatch_lookups += acc.lookups;
+        self.stats.async_stale_entries += acc.stale;
     }
 
     /// Blacklists the faulting pair of a rolled-back region, then
@@ -859,6 +1267,11 @@ impl DynOptSystem {
         let a = self.regions[idx].tag_origin[v.checker_tag as usize];
         let b = self.regions[idx].tag_origin[v.producer_tag as usize];
         let fresh = self.blacklist.insert(a, b);
+        if fresh {
+            // Every in-flight job snapshotted the previous generation;
+            // their results now re-optimize before publishing.
+            self.blacklist_gen += 1;
+        }
         if !fresh || self.regions[idx].rollbacks > self.config.max_rollbacks_per_region {
             // Livelock backstop: abandon translation for this block.
             let entry = self.regions[idx].entry;
@@ -866,10 +1279,28 @@ impl DynOptSystem {
             self.naive_cache.remove(&entry);
             self.abandoned[entry.index()] = true;
             self.unlink_into(idx);
+        } else if self.service.is_some() {
+            // Async deopt: unpublish the faulting region (so the stale
+            // code cannot be re-entered and re-fault while the fix is in
+            // flight) and queue the conservative retranslation. The guest
+            // interprets this block until the new code publishes.
+            self.unpublish(idx);
+            self.submit_retranslate(idx);
         } else {
             self.retranslate(idx);
         }
     }
+}
+
+/// Xorshift64 step — the seeded schedule generator of
+/// [`DynOptSystem::run_interleaved`] (state must be non-zero).
+fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
 }
 
 /// Guest instructions architecturally covered when leaving through each
@@ -1502,5 +1933,205 @@ mod tests {
         assert_eq!(sys.run_to_completion(u64::MAX), StopReason::Halted);
         assert_eq!(sys.interp().arch_state(), expected);
         assert!(sys.stats().tier_deopts >= 1);
+    }
+
+    // ----- tier-down sampling countdown edge cases (PR6 gap coverage) --
+
+    /// Table-driven countdown arithmetic: with `interval = n`, the first
+    /// functional entry is always sampled (the countdown starts at 1) and
+    /// every `n`-th entry after it, so `entries` region entries yield
+    /// exactly `1 + (entries - 1) / n` samples.
+    #[test]
+    fn sampling_countdown_arithmetic_is_exact() {
+        for (interval, desc) in [
+            (1u64, "every entry"),
+            (2, "every other entry"),
+            (7, "odd stride"),
+            (1_000_000, "stride past the run length"),
+        ] {
+            let sys = run_functional(&accumulating_loop(1000), interval);
+            let s = sys.stats();
+            assert!(s.tier_fast_entries > 0);
+            let expected = 1 + (s.tier_fast_entries - 1) / interval;
+            assert_eq!(
+                s.tier_samples, expected,
+                "interval {interval} ({desc}): {} entries",
+                s.tier_fast_entries
+            );
+            assert_eq!(s.tier_sample_mismatches, 0);
+        }
+    }
+
+    /// `tier_sample_interval = 1` is the exhaustive oracle: every single
+    /// functional entry is replayed on the cycle simulator.
+    #[test]
+    fn sample_rate_one_checks_every_entry() {
+        let sys = run_functional(&accumulating_loop(800), 1);
+        let s = sys.stats();
+        assert!(s.tier_fast_entries > 0);
+        assert_eq!(s.tier_samples, s.tier_fast_entries);
+        assert_eq!(s.tier_sample_mismatches, 0);
+        assert!(s.tier_sampled_cycles > 0);
+    }
+
+    /// First-entry-always: even when the interval exceeds the total
+    /// number of functional entries, exactly one sample fires — on the
+    /// very first entry — so short runs still get a cross-check.
+    #[test]
+    fn first_functional_entry_is_always_sampled() {
+        let sys = run_functional(&accumulating_loop(300), u64::MAX);
+        let s = sys.stats();
+        assert!(s.tier_fast_entries > 0);
+        assert_eq!(s.tier_samples, 1, "only the always-sampled first entry");
+        assert_eq!(s.tier_sample_mismatches, 0);
+    }
+
+    /// Deopt during a sampled entry: with `interval = 1` the faulting
+    /// functional entries are themselves sampled — the cycle-sim replay
+    /// must reproduce the identical alias exception (no mismatch), the
+    /// rollback must stay architecturally exact, and the countdown must
+    /// keep firing across the deopt boundary.
+    #[test]
+    fn deopt_during_sampled_entry_stays_exact() {
+        for p in [truly_aliasing_loop(400), late_aliasing_loop(500, 250)] {
+            let expected = reference_state(&p);
+            let sys = run_functional(&p, 1);
+            let s = sys.stats();
+            assert_eq!(sys.interp().arch_state(), expected);
+            assert!(s.tier_deopts >= 1, "true aliasing must deopt");
+            assert_eq!(s.tier_samples, s.tier_fast_entries);
+            assert_eq!(
+                s.tier_sample_mismatches, 0,
+                "the sampled replay reproduces the same exception"
+            );
+            assert!(s.retranslations >= 1);
+        }
+    }
+
+    // ----- async translation basics (the race harness proper lives in
+    // ----- tests/async_interleave.rs) ------------------------------
+
+    /// Async config for deterministic in-process tests: the auto-stepped
+    /// executor (no threads), translations land one dispatch boundary
+    /// after submission.
+    fn async_auto_cfg() -> SystemConfig {
+        let mut cfg = SystemConfig::with_opt(OptConfig::smarq(64));
+        cfg.async_translate = true;
+        cfg.translate_workers = 0;
+        cfg.translate_queue_depth = 4;
+        cfg
+    }
+
+    /// Async translation with the deterministic auto executor: bit-exact
+    /// final state, regions still form and run, and the pipeline counters
+    /// balance (published + conflicts + still-outstanding = enqueued).
+    #[test]
+    fn async_auto_executor_is_bit_exact() {
+        for p in [
+            accumulating_loop(800),
+            two_phase_program(400),
+            ping_pong_program(300, 8),
+        ] {
+            let expected = reference_state(&p);
+            let mut sys = DynOptSystem::new(p.clone(), async_auto_cfg());
+            assert_eq!(sys.run_to_completion(u64::MAX), StopReason::Halted);
+            assert_eq!(sys.interp().arch_state(), expected);
+            let s = sys.stats();
+            assert!(s.regions_formed >= 1, "async translation still installs");
+            assert!(s.region_entries > 0, "published regions actually run");
+            assert!(s.async_enqueued >= s.regions_formed as u64);
+            assert_eq!(
+                s.async_published + s.async_publish_conflicts,
+                s.async_enqueued - sys.translation_outstanding() as u64,
+                "every taken job was either published or rejected"
+            );
+            assert_eq!(
+                s.translation_ns, 0,
+                "no translation time on the critical path"
+            );
+            assert!(s.async_worker_ns > 0);
+        }
+    }
+
+    /// The real threaded executor reaches the same final state (counters
+    /// like the interp/region split are timing-dependent and not
+    /// asserted).
+    #[test]
+    fn async_threaded_executor_is_bit_exact() {
+        for workers in [1u32, 3] {
+            let p = two_phase_program(600);
+            let expected = reference_state(&p);
+            let mut cfg = SystemConfig::with_opt(OptConfig::smarq(64));
+            cfg.async_translate = true;
+            cfg.translate_workers = workers;
+            let mut sys = DynOptSystem::new(p, cfg);
+            assert_eq!(sys.run_to_completion(u64::MAX), StopReason::Halted);
+            sys.translation_drain();
+            assert_eq!(sys.interp().arch_state(), expected);
+            assert!(sys.stats().async_enqueued >= 1);
+            assert_eq!(sys.translation_outstanding(), 0, "drain leaves nothing");
+        }
+    }
+
+    /// Async deopt path: an alias exception unpublishes the region,
+    /// queues the conservative retranslation, and the republished region
+    /// converges — bit-exact with the reference throughout.
+    #[test]
+    fn async_deopt_retranslates_through_the_queue() {
+        for p in [truly_aliasing_loop(400), late_aliasing_loop(500, 250)] {
+            let expected = reference_state(&p);
+            let mut sys = DynOptSystem::new(p, async_auto_cfg());
+            assert_eq!(sys.run_to_completion(u64::MAX), StopReason::Halted);
+            assert_eq!(sys.interp().arch_state(), expected);
+            let s = sys.stats();
+            assert!(s.rollbacks >= 1, "speculation must have faulted");
+            assert!(s.retranslations >= 1, "the queued retranslate published");
+            assert!(!sys.blacklist().is_empty());
+            let last = s.per_region.last().unwrap();
+            assert!(last.rollbacks < 5, "blacklisting must converge");
+        }
+    }
+
+    /// The functional tier composes with async translation (workers
+    /// compile the fast lowering too).
+    #[test]
+    fn async_composes_with_functional_tier() {
+        let p = two_phase_program(500);
+        let expected = reference_state(&p);
+        let mut cfg = async_auto_cfg();
+        cfg.exec_tier = ExecTier::Functional;
+        cfg.tier_sample_interval = 16;
+        let mut sys = DynOptSystem::new(p, cfg);
+        assert_eq!(sys.run_to_completion(u64::MAX), StopReason::Halted);
+        assert_eq!(sys.interp().arch_state(), expected);
+        let s = sys.stats();
+        assert!(
+            s.tier_fast_entries > 0,
+            "published regions run on the fast tier"
+        );
+        assert_eq!(s.tier_sample_mismatches, 0);
+    }
+
+    /// `run_bounded` exposes the dispatch-step clock: it stops after the
+    /// requested number of steps with `Running`, resumes where it left
+    /// off, and total work matches an unbounded run.
+    #[test]
+    fn run_bounded_steps_and_resumes() {
+        let p = accumulating_loop(500);
+        let expected = reference_state(&p);
+        let mut sys = DynOptSystem::new(p, SystemConfig::with_opt(OptConfig::smarq(64)));
+        let mut statuses = 0u64;
+        loop {
+            match sys.run_bounded(3, u64::MAX) {
+                RunStatus::Running => statuses += 1,
+                RunStatus::Halted => break,
+                RunStatus::BudgetExhausted => unreachable!(),
+            }
+        }
+        assert!(statuses > 1, "the run was actually chopped into steps");
+        assert_eq!(sys.interp().arch_state(), expected);
+        // Halted is sticky.
+        assert_eq!(sys.run_bounded(10, u64::MAX), RunStatus::Halted);
+        assert_eq!(sys.run_to_completion(u64::MAX), StopReason::Halted);
     }
 }

@@ -1,0 +1,470 @@
+//! Asynchronous background translation pipeline (ROADMAP open item 3).
+//!
+//! The paper's §7 overhead argument only holds if region formation,
+//! optimization and verification stay off the guest's critical path. This
+//! module provides the machinery: a [`TranslationJob`] captures everything
+//! a translation needs (program, profile snapshot, optimizer config,
+//! blacklist snapshot), [`run_translation_job`] executes one job to a
+//! [`FinishedTranslation`], and a [`TranslationExecutor`] decides *where*
+//! and *when* jobs run:
+//!
+//! * [`ThreadedExecutor`] — the production shape: a bounded job queue
+//!   drained by a pool of worker threads, results returned over a channel
+//!   and atomically published by the execution thread at dispatch
+//!   boundaries.
+//! * [`StepExecutor`] — a single-threaded, step-controlled double for the
+//!   deterministic race-interleaving harness: jobs advance through
+//!   *queued → computed → released* only when a test driver (or a seeded
+//!   schedule) says so, which lets tests enumerate and replay
+//!   publish-vs-execute-vs-unlink interleavings exactly.
+//!
+//! The execution thread never blocks on a worker: until a finished region
+//! is published, the guest keeps interpreting (or keeps running regions
+//! translated under an older blacklist — "stale" translations, counted in
+//! [`crate::SystemStats::async_stale_entries`]).
+
+use smarq::{AllocScratch, Diagnostic};
+use smarq_guest::{BlockId, Profile, Program};
+use smarq_ir::{form_superblock, unroll_superblock, FormationParams, Superblock};
+use smarq_opt::fastcomp::{self, FastProgram};
+use smarq_opt::{
+    optimize_superblock_traced, optimize_superblock_with_scratch, AliasBlacklist, OptConfig,
+    Optimized,
+};
+use smarq_vliw::MachineConfig;
+use std::collections::VecDeque;
+use std::sync::mpsc::{self, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Instant;
+
+/// What a translation job produces when published.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum JobKind {
+    /// First translation of a hot block: on publish, a brand-new region
+    /// enters the translation cache.
+    Translate {
+        /// The hot entry block being translated.
+        entry: BlockId,
+    },
+    /// Conservative re-translation of an existing (unpublished) region
+    /// slot after an alias-exception deopt.
+    Retranslate {
+        /// The region slot the result is re-published into.
+        region: u32,
+        /// That slot's entry block.
+        entry: BlockId,
+    },
+}
+
+impl JobKind {
+    /// The guest entry block this job is keyed by (both kinds have one).
+    pub fn entry(&self) -> BlockId {
+        match *self {
+            JobKind::Translate { entry } | JobKind::Retranslate { entry, .. } => entry,
+        }
+    }
+}
+
+/// Where the job's superblock comes from.
+#[derive(Clone, Debug)]
+pub enum JobInput {
+    /// Form it on the worker from a profile snapshot (first translations:
+    /// formation itself moves off the critical path).
+    Form {
+        /// Execution profile snapshotted at the hot trigger.
+        profile: Profile,
+    },
+    /// Already formed (retranslations reuse the region's superblock;
+    /// stale-generation resubmits reuse the one the first attempt formed).
+    Ready(Box<Superblock>),
+}
+
+/// A self-contained translation request: everything the worker needs,
+/// snapshotted at submit time so the execution thread shares nothing
+/// mutable with the workers.
+#[derive(Clone, Debug)]
+pub struct TranslationJob {
+    /// Install a new region or refresh an existing slot.
+    pub kind: JobKind,
+    /// Superblock source (profile snapshot or pre-formed).
+    pub input: JobInput,
+    /// The guest program (shared, immutable).
+    pub program: Arc<Program>,
+    /// Region-formation parameters.
+    pub formation: FormationParams,
+    /// Self-loop unrolling factor.
+    pub unroll_factor: u32,
+    /// Optimizer configuration.
+    pub opt: OptConfig,
+    /// Machine model (scheduling shape).
+    pub machine: MachineConfig,
+    /// Alias-blacklist snapshot the optimization runs against.
+    pub blacklist: AliasBlacklist,
+    /// Generation counter of that snapshot; publish rejects results whose
+    /// generation is older than the system's (the blacklist grew while
+    /// the job was in flight) and resubmits with a fresh snapshot.
+    pub blacklist_gen: u64,
+    /// Statically verify the emitted region on the worker.
+    pub verify: bool,
+    /// Also lower the region for the fast-functional tier.
+    pub compile_fast: bool,
+}
+
+/// A finished translation, ready to be atomically published by the
+/// execution thread.
+#[derive(Debug)]
+pub struct FinishedTranslation {
+    /// The request this answers.
+    pub kind: JobKind,
+    /// The formed (or reused) superblock.
+    pub sb: Superblock,
+    /// The optimized region.
+    pub opt: Optimized,
+    /// Verify-on-emit findings (empty when verification was off). In
+    /// async mode diagnostics are labeled by the entry block index — the
+    /// worker cannot know the final region index.
+    pub diags: Vec<Diagnostic>,
+    /// Whether the worker ran static verification.
+    pub verified: bool,
+    /// Fast-functional lowering (when requested).
+    pub fast: Option<FastProgram>,
+    /// Blacklist generation the job optimized against.
+    pub blacklist_gen: u64,
+    /// Host nanoseconds the worker spent on this job — off the guest's
+    /// critical path by construction.
+    pub worker_ns: u64,
+}
+
+/// Runs one translation job to completion. Pure with respect to the
+/// system: everything it needs rides in the job, everything it produces
+/// rides in the result.
+pub fn run_translation_job(job: TranslationJob, scratch: &mut AllocScratch) -> FinishedTranslation {
+    let t0 = Instant::now();
+    let sb = match job.input {
+        JobInput::Ready(sb) => *sb,
+        JobInput::Form { profile } => {
+            let sb = form_superblock(&job.program, &profile, job.kind.entry(), job.formation);
+            let (sb, _) = unroll_superblock(&sb, job.unroll_factor, job.formation.max_ops);
+            sb
+        }
+    };
+    let (opt, diags) = if job.verify {
+        let (opt, trace) =
+            optimize_superblock_traced(&sb, &job.opt, &job.machine, &job.blacklist, scratch);
+        let diags =
+            smarq_verify::verify_trace(job.kind.entry().index(), &trace, job.opt.num_alias_regs);
+        (opt, diags)
+    } else {
+        let opt =
+            optimize_superblock_with_scratch(&sb, &job.opt, &job.machine, &job.blacklist, scratch);
+        (opt, Vec::new())
+    };
+    let fast = job
+        .compile_fast
+        .then(|| fastcomp::compile(&opt.vliw).expect("translated region is well formed"));
+    FinishedTranslation {
+        kind: job.kind,
+        sb,
+        opt,
+        diags,
+        verified: job.verify,
+        fast,
+        blacklist_gen: job.blacklist_gen,
+        worker_ns: t0.elapsed().as_nanos() as u64,
+    }
+}
+
+/// Where and when translation jobs run. Implementations must be `Send`
+/// so the owning system can move across threads (the evaluation harness
+/// runs systems in parallel).
+pub trait TranslationExecutor: Send {
+    /// Enqueues a job. Returns `false` when the bounded queue is full —
+    /// the job is dropped and the caller retries naturally (the block
+    /// stays hot, the next dispatch re-triggers).
+    fn submit(&mut self, job: TranslationJob) -> bool;
+    /// A finished translation, if one is ready to publish. Never blocks.
+    fn try_recv(&mut self) -> Option<FinishedTranslation>;
+    /// Blocks until a finished translation is available; `None` when no
+    /// job is outstanding (used to drain the pipeline at shutdown).
+    fn recv_blocking(&mut self) -> Option<FinishedTranslation>;
+    /// Jobs submitted but not yet received.
+    fn outstanding(&self) -> usize;
+    /// Step hook: run one queued job to the *computed* stage. Returns
+    /// `false` when the executor does not expose step control (threaded)
+    /// or nothing is queued.
+    fn compute_one(&mut self) -> bool {
+        false
+    }
+    /// Step hook: move one computed result to the *released* stage where
+    /// `try_recv` can observe it. Returns `false` when unsupported or
+    /// nothing is computed.
+    fn release_one(&mut self) -> bool {
+        false
+    }
+}
+
+/// The production executor: a bounded job channel drained by a pool of
+/// worker threads. Results flow back over an unbounded channel and are
+/// published by the execution thread at its next dispatch boundary.
+pub struct ThreadedExecutor {
+    tx: Option<mpsc::SyncSender<TranslationJob>>,
+    rx: mpsc::Receiver<FinishedTranslation>,
+    outstanding: usize,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl ThreadedExecutor {
+    /// Spawns `workers` threads (min 1) behind a job queue bounded at
+    /// `queue_depth` (min 1).
+    pub fn new(workers: usize, queue_depth: usize) -> Self {
+        let (jtx, jrx) = mpsc::sync_channel::<TranslationJob>(queue_depth.max(1));
+        let (rtx, rrx) = mpsc::channel::<FinishedTranslation>();
+        let jrx = Arc::new(Mutex::new(jrx));
+        let handles = (0..workers.max(1))
+            .map(|_| {
+                let jrx = Arc::clone(&jrx);
+                let rtx = rtx.clone();
+                thread::spawn(move || {
+                    // Each worker recycles its own allocator scratch, like
+                    // the inline path recycles the system's.
+                    let mut scratch = AllocScratch::new();
+                    loop {
+                        // Hold the lock only for the dequeue, not the job.
+                        let job = match jrx.lock() {
+                            Ok(rx) => rx.recv(),
+                            Err(_) => break,
+                        };
+                        let Ok(job) = job else { break };
+                        if rtx.send(run_translation_job(job, &mut scratch)).is_err() {
+                            break;
+                        }
+                    }
+                })
+            })
+            .collect();
+        ThreadedExecutor {
+            tx: Some(jtx),
+            rx: rrx,
+            outstanding: 0,
+            workers: handles,
+        }
+    }
+}
+
+impl TranslationExecutor for ThreadedExecutor {
+    fn submit(&mut self, job: TranslationJob) -> bool {
+        let tx = self.tx.as_ref().expect("executor not shut down");
+        match tx.try_send(job) {
+            Ok(()) => {
+                self.outstanding += 1;
+                true
+            }
+            Err(TrySendError::Full(_)) => false,
+            Err(TrySendError::Disconnected(_)) => {
+                unreachable!("workers outlive the executor")
+            }
+        }
+    }
+
+    fn try_recv(&mut self) -> Option<FinishedTranslation> {
+        let fin = self.rx.try_recv().ok()?;
+        self.outstanding -= 1;
+        Some(fin)
+    }
+
+    fn recv_blocking(&mut self) -> Option<FinishedTranslation> {
+        if self.outstanding == 0 {
+            return None;
+        }
+        let fin = self.rx.recv().ok()?;
+        self.outstanding -= 1;
+        Some(fin)
+    }
+
+    fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+}
+
+impl Drop for ThreadedExecutor {
+    fn drop(&mut self) {
+        // Closing the job channel ends every worker's recv loop.
+        drop(self.tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Single-threaded, step-controlled executor for deterministic schedule
+/// exploration. A job moves through three explicit stages —
+/// **queued** (submitted, not started), **computed** (translation done,
+/// result not yet visible) and **released** (visible to `try_recv`) —
+/// and only advances when [`TranslationExecutor::compute_one`] /
+/// [`TranslationExecutor::release_one`] are called. A test driver (or the
+/// seeded schedule in `DynOptSystem::run_interleaved`) therefore controls
+/// exactly when a finished translation becomes publishable, relative to
+/// guest execution, deopts and unlinks.
+pub struct StepExecutor {
+    capacity: usize,
+    /// Auto mode: `try_recv` advances one job through both stages itself,
+    /// giving a deterministic "translation finishes at the next dispatch
+    /// boundary" executor with no manual driving (used for
+    /// `translate_workers = 0`).
+    auto: bool,
+    queued: VecDeque<TranslationJob>,
+    computed: VecDeque<FinishedTranslation>,
+    released: VecDeque<FinishedTranslation>,
+    scratch: AllocScratch,
+}
+
+impl StepExecutor {
+    /// Manual stepping: nothing advances until the driver says so.
+    pub fn manual(capacity: usize) -> Self {
+        Self::with_mode(capacity, false)
+    }
+
+    /// Auto stepping: each `try_recv` completes at most one queued job,
+    /// so translations deterministically land one dispatch boundary after
+    /// submission.
+    pub fn auto(capacity: usize) -> Self {
+        Self::with_mode(capacity, true)
+    }
+
+    fn with_mode(capacity: usize, auto: bool) -> Self {
+        StepExecutor {
+            capacity: capacity.max(1),
+            auto,
+            queued: VecDeque::new(),
+            computed: VecDeque::new(),
+            released: VecDeque::new(),
+            scratch: AllocScratch::new(),
+        }
+    }
+}
+
+impl TranslationExecutor for StepExecutor {
+    fn submit(&mut self, job: TranslationJob) -> bool {
+        // The bound models the threaded job channel: it limits *waiting*
+        // jobs, not finished results.
+        if self.queued.len() >= self.capacity {
+            return false;
+        }
+        self.queued.push_back(job);
+        true
+    }
+
+    fn try_recv(&mut self) -> Option<FinishedTranslation> {
+        if self.auto {
+            if self.released.is_empty() && self.computed.is_empty() {
+                self.compute_one();
+            }
+            if self.released.is_empty() {
+                self.release_one();
+            }
+        }
+        self.released.pop_front()
+    }
+
+    fn recv_blocking(&mut self) -> Option<FinishedTranslation> {
+        loop {
+            if let Some(fin) = self.released.pop_front() {
+                return Some(fin);
+            }
+            if !self.release_one() && !self.compute_one() {
+                return None;
+            }
+        }
+    }
+
+    fn outstanding(&self) -> usize {
+        self.queued.len() + self.computed.len() + self.released.len()
+    }
+
+    fn compute_one(&mut self) -> bool {
+        let Some(job) = self.queued.pop_front() else {
+            return false;
+        };
+        let fin = run_translation_job(job, &mut self.scratch);
+        self.computed.push_back(fin);
+        true
+    }
+
+    fn release_one(&mut self) -> bool {
+        let Some(fin) = self.computed.pop_front() else {
+            return false;
+        };
+        self.released.push_back(fin);
+        true
+    }
+}
+
+/// The system-facing wrapper around an executor: pending-job bookkeeping
+/// (at most one in-flight job per guest entry block) on top of whichever
+/// executor is installed.
+pub struct TranslationService {
+    exec: Box<dyn TranslationExecutor>,
+    /// `pending[block.index()]`: a job keyed by this entry block is in
+    /// flight (covers both translations and retranslations; cleared when
+    /// the result is taken for publish).
+    pending: Vec<bool>,
+}
+
+impl TranslationService {
+    /// Wraps `exec` for a program with `num_blocks` guest blocks.
+    pub fn new(exec: Box<dyn TranslationExecutor>, num_blocks: usize) -> Self {
+        TranslationService {
+            exec,
+            pending: vec![false; num_blocks],
+        }
+    }
+
+    /// Whether a job keyed by `entry` is already in flight.
+    pub fn is_pending(&self, entry: BlockId) -> bool {
+        self.pending[entry.index()]
+    }
+
+    /// Enqueues a job; returns `false` (job dropped) when the bounded
+    /// queue is full.
+    pub fn submit(&mut self, job: TranslationJob) -> bool {
+        let entry = job.kind.entry();
+        if self.exec.submit(job) {
+            self.pending[entry.index()] = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Takes one finished translation, if ready, clearing its pending
+    /// mark. Never blocks.
+    pub fn take(&mut self) -> Option<FinishedTranslation> {
+        let fin = self.exec.try_recv()?;
+        self.pending[fin.kind.entry().index()] = false;
+        Some(fin)
+    }
+
+    /// Blocking variant of [`Self::take`]; `None` once nothing is
+    /// outstanding.
+    pub fn take_blocking(&mut self) -> Option<FinishedTranslation> {
+        let fin = self.exec.recv_blocking()?;
+        self.pending[fin.kind.entry().index()] = false;
+        Some(fin)
+    }
+
+    /// Jobs in flight (queued, computed or released, not yet taken).
+    pub fn outstanding(&self) -> usize {
+        self.exec.outstanding()
+    }
+
+    /// Forwards [`TranslationExecutor::compute_one`].
+    pub fn compute_one(&mut self) -> bool {
+        self.exec.compute_one()
+    }
+
+    /// Forwards [`TranslationExecutor::release_one`].
+    pub fn release_one(&mut self) -> bool {
+        self.exec.release_one()
+    }
+}

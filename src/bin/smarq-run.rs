@@ -5,6 +5,8 @@
 //! smarq-run FILE.s [--hw smarq|smarq16|efficeon|alat|none]
 //!                  [--regs N] [--unroll N] [--budget N]
 //!                  [--dispatch naive|chained] [--exec-tier cycle|functional]
+//!                  [--async-translate] [--translate-workers N]
+//!                  [--translate-queue N]
 //!                  [--dump-region] [--compare] [--verify]
 //! smarq-run lint PATH... [--json FILE]
 //! ```
@@ -16,7 +18,13 @@
 //! `--exec-tier functional` runs optimized regions on the fast functional
 //! tier with sampled cycle-sim tier-down checks (also via
 //! `SMARQ_EXEC_TIER=functional`); `--dispatch naive` disables region
-//! chaining.
+//! chaining. `--async-translate` moves region formation, optimization and
+//! verification onto background worker threads (also via
+//! `SMARQ_ASYNC_TRANSLATE=1`): the guest keeps interpreting while
+//! translations are in flight and finished regions publish atomically at
+//! dispatch-step boundaries. `--translate-workers N` sizes the pool
+//! (`0` = a deterministic in-thread stepper) and `--translate-queue N`
+//! bounds the job queue.
 
 use smarq_opt::OptConfig;
 use smarq_runtime::{DispatchMode, DynOptSystem, ExecTier, SystemConfig};
@@ -30,6 +38,9 @@ struct Args {
     budget: u64,
     dispatch: Option<DispatchMode>,
     exec_tier: Option<ExecTier>,
+    async_translate: bool,
+    translate_workers: Option<u32>,
+    translate_queue: Option<u32>,
     dump_region: bool,
     compare: bool,
     verify: bool,
@@ -39,7 +50,9 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: smarq-run FILE.s [--hw smarq|smarq16|efficeon|alat|none] \
          [--regs N] [--unroll N] [--budget N] [--dispatch naive|chained] \
-         [--exec-tier cycle|functional] [--dump-region] [--compare] [--verify]\n\
+         [--exec-tier cycle|functional] [--async-translate] \
+         [--translate-workers N] [--translate-queue N] \
+         [--dump-region] [--compare] [--verify]\n\
          \x20      smarq-run lint PATH... [--json FILE]"
     );
     ExitCode::from(2)
@@ -109,6 +122,9 @@ fn parse_args() -> Result<Args, ExitCode> {
         budget: u64::MAX,
         dispatch: None,
         exec_tier: None,
+        async_translate: false,
+        translate_workers: None,
+        translate_queue: None,
         dump_region: false,
         compare: false,
         verify: false,
@@ -151,6 +167,15 @@ fn parse_args() -> Result<Args, ExitCode> {
                         return Err(usage());
                     }
                 });
+            }
+            "--async-translate" => args.async_translate = true,
+            "--translate-workers" => {
+                args.translate_workers =
+                    Some(value("--translate-workers")?.parse().map_err(|_| usage())?);
+            }
+            "--translate-queue" => {
+                args.translate_queue =
+                    Some(value("--translate-queue")?.parse().map_err(|_| usage())?);
             }
             "--dump-region" => args.dump_region = true,
             "--compare" => args.compare = true,
@@ -224,9 +249,23 @@ fn main() -> ExitCode {
     if let Some(t) = args.exec_tier {
         cfg.exec_tier = t;
     }
+    if args.async_translate {
+        cfg.async_translate = true;
+    }
+    if let Some(w) = args.translate_workers {
+        cfg.translate_workers = w;
+    }
+    if let Some(q) = args.translate_queue {
+        cfg.translate_queue_depth = q;
+    }
     let tier = cfg.exec_tier;
+    let async_on = cfg.async_translate;
     let mut sys = DynOptSystem::new(program.clone(), cfg);
     sys.run_to_completion(args.budget);
+    if async_on {
+        // Settle in-flight jobs so the worker/publish counters are final.
+        sys.translation_drain();
+    }
     let s = sys.stats();
 
     println!("hardware:            {}", args.hw);
@@ -248,6 +287,17 @@ fn main() -> ExitCode {
             s.tier_samples,
             s.tier_sample_mismatches,
             s.tier_sampled_cycles
+        );
+    }
+    if async_on {
+        println!(
+            "async translation:   {} enqueued, {} published, {} conflicts, {} stale entries, \
+             {} stall cycles avoided",
+            s.async_enqueued,
+            s.async_published,
+            s.async_publish_conflicts,
+            s.async_stale_entries,
+            s.stall_cycles_avoided()
         );
     }
     if s.regions_verified > 0 || s.verify_errors > 0 {

@@ -1,9 +1,14 @@
 //! Every minimized repro captured by `smarq fuzz` is a permanent
 //! regression test: each entry in `tests/corpus/` is replayed through the
 //! full layered oracle stack (end-to-end state, allocation validation,
-//! fast-path differentials) and must stay green.
+//! fast-path differentials) and must stay green — including the async
+//! background translation pipeline, which is additionally swept here
+//! across seeded interleaving schedules at the most contended queue
+//! depth.
 
-use smarq_fuzz::{check_program, load_dir, OracleParams};
+use smarq_fuzz::{check_program, load_dir, schemes, OracleParams};
+use smarq_guest::Interpreter;
+use smarq_runtime::{DynOptSystem, StepExecutor, StopReason, SystemConfig};
 use std::path::Path;
 
 #[test]
@@ -19,6 +24,47 @@ fn corpus_entries_replay_green() {
     for (path, program) in &entries {
         if let Err(d) = check_program(program, &OracleParams::default()) {
             panic!("{} diverged: {d}", path.display());
+        }
+    }
+}
+
+/// Satellite coverage for the async pipeline: every corpus entry, under
+/// every hardware scheme, replayed with background translation through a
+/// depth-1 manually stepped queue (maximum submit/publish contention)
+/// across several interleaving seeds — and every combination must leave
+/// architectural state bit-exact against the pure interpreter.
+#[test]
+fn corpus_replays_bit_exact_with_async_translation() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let entries = load_dir(&dir).expect("corpus directory loads");
+    for (path, program) in &entries {
+        let mut reference = Interpreter::new();
+        reference.run(program, u64::MAX);
+        let expected = reference.arch_state();
+        for (label, opt) in schemes() {
+            for seed in [1u64, 7, 23] {
+                let mut cfg = SystemConfig::with_opt(opt.clone());
+                cfg.hot_threshold = 10;
+                cfg.async_translate = true;
+                cfg.translate_queue_depth = 1;
+                let mut sys = DynOptSystem::with_executor(
+                    program.clone(),
+                    cfg,
+                    Box::new(StepExecutor::manual(1)),
+                );
+                assert_eq!(
+                    sys.run_interleaved(seed, u64::MAX),
+                    StopReason::Halted,
+                    "{} under {label} seed {seed}: did not halt",
+                    path.display()
+                );
+                assert_eq!(
+                    sys.interp().arch_state(),
+                    expected,
+                    "{} under {label} seed {seed}: async replay diverged",
+                    path.display()
+                );
+            }
         }
     }
 }
