@@ -4,12 +4,13 @@
 //! (default: `all`).
 //!
 //! `figures bench-json [OUT.json]` instead runs the before/after perf
-//! comparisons (see `smarq_bench::perf`) plus the serial-vs-parallel
-//! evaluation sweep and writes the JSON baseline (default
-//! `BENCH_PR7.json`). The convention: a PR claiming performance work
-//! commits the file this prints, named `BENCH_PR<n>.json`.
+//! comparisons (see `smarq_bench::perf`), the serial-vs-parallel
+//! evaluation sweep and the multi-guest scaling benchmark, and writes the
+//! JSON baseline (default `BENCH_PR8.json`). The convention: a PR
+//! claiming performance work commits the file this prints, named
+//! `BENCH_PR<n>.json`.
 
-use smarq_bench::{figures, perf, tables, Evaluation};
+use smarq_bench::{bench_multi_guest, figures, perf, tables, Evaluation};
 
 fn bench_json(out_path: &str) {
     eprintln!("running before/after comparisons ...");
@@ -59,7 +60,34 @@ fn bench_json(out_path: &str) {
             sweep.speedup()
         );
     }
-    let json = perf::to_json(&comparisons, &absolutes, Some(&sweep));
+    eprintln!("running the multi-guest scaling benchmark ...");
+    let multi = bench_multi_guest();
+    for r in &multi.rows {
+        eprintln!(
+            "multiguest: {} threads  {:.2}s [{:.2}..{:.2}]  {:.2} guest-programs/s  {:.2}M guest-instrs/s",
+            r.threads,
+            r.wall_s,
+            r.wall_min_s,
+            r.wall_max_s,
+            r.guest_programs_per_s,
+            r.guest_instrs_per_s / 1.0e6
+        );
+    }
+    match multi.scaling_speedup() {
+        Some(s) => eprintln!(
+            "multiguest: {:.2}x from 1 -> {} threads; shared cache translated {} regions vs {} private",
+            s,
+            multi.rows.last().map_or(1, |r| r.threads),
+            multi.shared_translations,
+            multi.private_translations
+        ),
+        None => eprintln!(
+            "multiguest: single hardware thread, scaling rows skipped (degenerate); \
+             shared cache translated {} regions vs {} private",
+            multi.shared_translations, multi.private_translations
+        ),
+    }
+    let json = perf::to_json(&comparisons, &absolutes, Some(&sweep), Some(&multi));
     if let Err(e) = std::fs::write(out_path, &json) {
         eprintln!("error: cannot write {out_path}: {e}");
         std::process::exit(1);
@@ -72,7 +100,7 @@ fn main() {
     if arg == "bench-json" {
         let out = std::env::args()
             .nth(2)
-            .unwrap_or_else(|| "BENCH_PR7.json".into());
+            .unwrap_or_else(|| "BENCH_PR8.json".into());
         bench_json(&out);
         return;
     }

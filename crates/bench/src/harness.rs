@@ -13,12 +13,44 @@ use std::time::Instant;
 pub struct Measurement {
     /// Benchmark name.
     pub name: String,
-    /// Best-sample cost of one iteration, in nanoseconds.
+    /// Median per-iteration cost over the timed samples, in nanoseconds
+    /// (the headline number: robust to a stray slow sample on a noisy
+    /// host, unlike best-of which hides all variance).
     pub ns_per_iter: f64,
+    /// Fastest sample's per-iteration cost, in nanoseconds.
+    pub ns_min: f64,
+    /// Slowest sample's per-iteration cost, in nanoseconds.
+    pub ns_max: f64,
     /// Iterations per timed sample (chosen by calibration).
     pub iters_per_sample: u64,
     /// Number of timed samples taken.
     pub samples: u32,
+}
+
+impl Measurement {
+    /// A single-observation measurement (derived counters, one-shot
+    /// wall-clock numbers): median, min and max all equal `ns_per_iter`.
+    pub fn single(name: impl Into<String>, ns_per_iter: f64, iters: u64) -> Self {
+        Measurement {
+            name: name.into(),
+            ns_per_iter,
+            ns_min: ns_per_iter,
+            ns_max: ns_per_iter,
+            iters_per_sample: iters,
+            samples: 1,
+        }
+    }
+}
+
+/// Median of `samples` (which must be non-empty; sorted in place).
+pub(crate) fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
 }
 
 impl Measurement {
@@ -39,9 +71,10 @@ fn run_batch<T>(iters: u64, f: &mut impl FnMut() -> T) -> std::time::Duration {
     t0.elapsed()
 }
 
-/// Times `f` and reports the *minimum* per-iteration cost over `samples`
-/// batches, each sized by doubling until a batch runs at least
-/// `min_sample_ms` milliseconds (the doubling batches double as warmup).
+/// Times `f` over `samples` repetition batches, each sized by doubling
+/// until a batch runs at least `min_sample_ms` milliseconds (the doubling
+/// batches double as warmup), and reports the *median* per-iteration cost
+/// plus the min/max spread.
 pub fn time_fn_cfg<T>(
     name: &str,
     min_sample_ms: u64,
@@ -56,20 +89,22 @@ pub fn time_fn_cfg<T>(
         }
         iters *= 2;
     }
-    let mut best = f64::INFINITY;
-    for _ in 0..samples {
-        let d = run_batch(iters, &mut f);
-        best = best.min(d.as_nanos() as f64 / iters as f64);
-    }
+    let mut timings: Vec<f64> = (0..samples.max(1))
+        .map(|_| run_batch(iters, &mut f).as_nanos() as f64 / iters as f64)
+        .collect();
+    let med = median(&mut timings);
     Measurement {
         name: name.to_string(),
-        ns_per_iter: best,
+        ns_per_iter: med,
+        ns_min: timings[0],
+        ns_max: timings[timings.len() - 1],
         iters_per_sample: iters,
-        samples,
+        samples: samples.max(1),
     }
 }
 
-/// [`time_fn_cfg`] with the default budget (10 ms samples, best of 5).
+/// [`time_fn_cfg`] with the default budget (10 ms samples, median of 5
+/// repetitions).
 pub fn time_fn<T>(name: &str, f: impl FnMut() -> T) -> Measurement {
     time_fn_cfg(name, 10, 5, f)
 }
@@ -119,21 +154,24 @@ mod tests {
         });
         assert!(m.ns_per_iter > 0.0);
         assert!(m.iters_per_sample >= 1);
+        assert!(m.ns_min <= m.ns_per_iter && m.ns_per_iter <= m.ns_max);
     }
 
     #[test]
     fn comparison_speedup_is_ratio() {
-        let mk = |ns: f64| Measurement {
-            name: "x".into(),
-            ns_per_iter: ns,
-            iters_per_sample: 1,
-            samples: 1,
-        };
         let c = Comparison {
             name: "r".into(),
-            before: mk(100.0),
-            after: mk(25.0),
+            before: Measurement::single("x", 100.0, 1),
+            after: Measurement::single("x", 25.0, 1),
         };
         assert!((c.speedup() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_is_robust_to_one_outlier() {
+        let mut odd = [3.0, 1.0, 100.0, 2.0, 4.0];
+        assert_eq!(median(&mut odd), 3.0);
+        let mut even = [1.0, 2.0, 3.0, 100.0];
+        assert_eq!(median(&mut even), 2.5);
     }
 }

@@ -17,9 +17,12 @@ use smarq_workloads::Workload;
 
 pub mod figures;
 pub mod harness;
+pub mod multiguest;
 pub mod perf;
 pub mod synth;
 pub mod tables;
+
+pub use multiguest::{bench_multi_guest, MultiGuestRow, MultiGuestScaling};
 
 /// The evaluation's hardware/optimizer configurations (paper Figures 15/16).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

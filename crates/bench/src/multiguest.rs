@@ -1,0 +1,248 @@
+//! Multi-guest throughput scaling: N guest programs over one shared
+//! [`TranslationHub`], scheduled by [`smarq_runtime::run_multi`] at
+//! increasing host-thread counts.
+//!
+//! Two questions, two measurements:
+//!
+//! * **Core scaling** — wall-clock for the same fixed batch of guest
+//!   programs at 1/2/4/8 scheduler threads (capped at the host's
+//!   available parallelism), reported as guest-programs/sec and aggregate
+//!   guest-instrs/sec, median + min/max over [`REPS`] repetitions. On a
+//!   single-hardware-thread host only the 1-thread row is measured and
+//!   the result is marked [`MultiGuestScaling::degenerate`] — a "speedup"
+//!   from oversubscribing one core would be scheduler-noise, not signal.
+//! * **Shared vs. private cache** — total translations claimed when all
+//!   guests share one hub vs. each guest paying for its own: the
+//!   translate-once win, counted exactly by the hub's own ledger.
+
+use crate::harness::median;
+use smarq_guest::{AluOp, CmpOp, Program, ProgramBuilder, Reg};
+use smarq_runtime::{
+    run_multi, GuestContext, HubConfig, SystemConfig, TranslationHub, DEFAULT_SLICE_STEPS,
+};
+use std::time::Instant;
+
+/// Guests per batch.
+pub const GUESTS: usize = 8;
+/// Timed repetitions per thread count (median + min/max are reported).
+pub const REPS: usize = 5;
+
+/// One thread-count row of the scaling matrix.
+#[derive(Clone, Copy, Debug)]
+pub struct MultiGuestRow {
+    /// Scheduler threads used.
+    pub threads: usize,
+    /// Median batch wall-clock, seconds.
+    pub wall_s: f64,
+    /// Fastest repetition, seconds.
+    pub wall_min_s: f64,
+    /// Slowest repetition, seconds.
+    pub wall_max_s: f64,
+    /// Guest programs completed per second (median wall-clock).
+    pub guest_programs_per_s: f64,
+    /// Aggregate guest instructions retired per second (median
+    /// wall-clock).
+    pub guest_instrs_per_s: f64,
+}
+
+/// The full multi-guest benchmark result.
+#[derive(Clone, Debug)]
+pub struct MultiGuestScaling {
+    /// Guests per batch.
+    pub guests: usize,
+    /// Repetitions per row.
+    pub reps: usize,
+    /// Hardware threads the host reports
+    /// ([`std::thread::available_parallelism`]).
+    pub host_threads: usize,
+    /// `true` on a single-hardware-thread host: only the 1-thread row was
+    /// measured, and the scaling speedup is undefined (null in JSON).
+    pub degenerate: bool,
+    /// One row per measured thread count, ascending.
+    pub rows: Vec<MultiGuestRow>,
+    /// Translations claimed by one hub shared by all guests.
+    pub shared_translations: u64,
+    /// Sum of translations claimed when each guest owns a private hub.
+    pub private_translations: u64,
+}
+
+impl MultiGuestScaling {
+    /// Throughput speedup of the highest measured thread count over the
+    /// 1-thread row; `None` when [`MultiGuestScaling::degenerate`].
+    pub fn scaling_speedup(&self) -> Option<f64> {
+        if self.degenerate || self.rows.len() < 2 {
+            return None;
+        }
+        Some(self.rows[0].wall_s / self.rows[self.rows.len() - 1].wall_s)
+    }
+}
+
+/// A finite memory-carrying hot loop; `stride` differentiates the formed
+/// regions so distinct guests genuinely translate distinct code.
+fn guest_kernel(iters: i64, stride: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let entry = b.block();
+    let body = b.block();
+    let done = b.block();
+    b.iconst(entry, Reg(1), 0);
+    b.iconst(entry, Reg(2), iters);
+    b.iconst(entry, Reg(3), 0x1000);
+    b.jump(entry, body);
+    b.ld(body, Reg(4), Reg(3), stride * 8);
+    b.alu(body, AluOp::Add, Reg(4), Reg(4), Reg(1));
+    b.st(body, Reg(4), Reg(3), stride * 8);
+    b.alu_imm(body, AluOp::Add, Reg(1), Reg(1), 1);
+    b.branch(body, CmpOp::Lt, Reg(1), Reg(2), body, done);
+    b.halt(done);
+    b.finish(entry)
+}
+
+/// The benchmark's guest batch: [`GUESTS`] programs over four distinct
+/// kernels, so the shared hub sees both duplicate and distinct code.
+fn guest_batch(iters: i64) -> Vec<Program> {
+    (0..GUESTS)
+        .map(|i| guest_kernel(iters, (i % 4) as i64))
+        .collect()
+}
+
+fn hub_config() -> HubConfig {
+    let sys = SystemConfig {
+        hot_threshold: 50,
+        ..Default::default()
+    };
+    let mut cfg = HubConfig::from_system(&sys);
+    // Inline translation: the scaling under measurement is the guest
+    // scheduler's, and single-flight still dedups across guests. A worker
+    // pool would add its own threads to every row and blur the per-row
+    // thread count.
+    cfg.workers = 0;
+    cfg
+}
+
+/// Runs one batch at `threads` scheduler threads; returns wall seconds
+/// and aggregate guest instructions retired.
+fn run_batch(programs: &[Program], threads: usize) -> (f64, u64) {
+    let hub = TranslationHub::new(hub_config());
+    let guests: Vec<GuestContext> = programs
+        .iter()
+        .enumerate()
+        .map(|(i, p)| GuestContext::new(i, p.clone(), &hub))
+        .collect();
+    let t0 = Instant::now();
+    let guests = run_multi(&hub, guests, threads, u64::MAX, DEFAULT_SLICE_STEPS);
+    let wall = t0.elapsed().as_secs_f64();
+    let instrs = guests.iter().map(|g| g.stats().guest_instrs()).sum();
+    (wall, instrs)
+}
+
+/// Measures multi-guest throughput scaling; see the module docs.
+pub fn bench_multi_guest() -> MultiGuestScaling {
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let degenerate = host_threads == 1;
+    let programs = guest_batch(400_000);
+
+    let thread_counts: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&t| t == 1 || t <= host_threads)
+        .collect();
+
+    let mut rows = Vec::new();
+    for &threads in &thread_counts {
+        let mut walls = Vec::with_capacity(REPS);
+        let mut instrs = 0u64;
+        for _ in 0..REPS {
+            let (wall, n) = run_batch(&programs, threads);
+            walls.push(wall);
+            instrs = n; // identical every rep: same programs run to halt
+        }
+        let wall_min_s = walls.iter().cloned().fold(f64::INFINITY, f64::min);
+        let wall_max_s = walls.iter().cloned().fold(0.0, f64::max);
+        let wall_s = median(&mut walls);
+        rows.push(MultiGuestRow {
+            threads,
+            wall_s,
+            wall_min_s,
+            wall_max_s,
+            guest_programs_per_s: GUESTS as f64 / wall_s,
+            guest_instrs_per_s: instrs as f64 / wall_s,
+        });
+    }
+
+    // Shared vs private translation counts, from the hub's own ledger.
+    let shared = {
+        let hub = TranslationHub::new(hub_config());
+        let guests: Vec<GuestContext> = programs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| GuestContext::new(i, p.clone(), &hub))
+            .collect();
+        run_multi(&hub, guests, 1, u64::MAX, DEFAULT_SLICE_STEPS);
+        hub.stats().translations_started
+    };
+    let private = programs
+        .iter()
+        .map(|p| {
+            let hub = TranslationHub::new(hub_config());
+            let mut g = GuestContext::new(0, p.clone(), &hub);
+            g.run_to_completion(&hub, u64::MAX);
+            hub.stats().translations_started
+        })
+        .sum();
+
+    MultiGuestScaling {
+        guests: GUESTS,
+        reps: REPS,
+        host_threads,
+        degenerate,
+        rows,
+        shared_translations: shared,
+        private_translations: private,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smarq_guest::Interpreter;
+
+    #[test]
+    fn guest_kernels_halt_and_differ_by_stride() {
+        for stride in 0..4 {
+            let p = guest_kernel(200, stride);
+            let mut i = Interpreter::new();
+            assert_eq!(i.run(&p, 100_000), smarq_guest::RunOutcome::Halted);
+        }
+        assert_ne!(
+            smarq_runtime::hash_program(&guest_kernel(200, 0)),
+            smarq_runtime::hash_program(&guest_kernel(200, 1)),
+        );
+    }
+
+    #[test]
+    fn shared_hub_dedups_across_the_batch() {
+        // A fast miniature of the counter half of the benchmark: 8 guests
+        // over 4 distinct kernels share a hub, so the shared claim count
+        // must be half the private sum (each kernel claimed once, not
+        // twice).
+        let programs = guest_batch(2_000);
+        let hub = TranslationHub::new(hub_config());
+        let guests: Vec<GuestContext> = programs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| GuestContext::new(i, p.clone(), &hub))
+            .collect();
+        run_multi(&hub, guests, 1, u64::MAX, DEFAULT_SLICE_STEPS);
+        let shared = hub.stats().translations_started;
+        let private: u64 = programs
+            .iter()
+            .map(|p| {
+                let hub = TranslationHub::new(hub_config());
+                let mut g = GuestContext::new(0, p.clone(), &hub);
+                g.run_to_completion(&hub, u64::MAX);
+                hub.stats().translations_started
+            })
+            .sum();
+        assert_eq!(shared * 2, private, "4 unique kernels, 8 guests");
+        assert!(shared >= 4);
+    }
+}

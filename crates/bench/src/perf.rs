@@ -405,12 +405,11 @@ pub fn compare_async_translate() -> Comparison {
         "kernel must be translation-heavy, formed only {}",
         s.regions_formed
     );
-    let before = Measurement {
-        name: "async_translate/inline_stall".into(),
-        ns_per_iter: s.translation_ns as f64 / inline_jobs as f64,
-        iters_per_sample: inline_jobs,
-        samples: 1,
-    };
+    let before = Measurement::single(
+        "async_translate/inline_stall",
+        s.translation_ns as f64 / inline_jobs as f64,
+        inline_jobs,
+    );
 
     // Async: the critical path only pays the enqueue and the publish
     // link-in. The deterministic in-thread stepper (`translate_workers =
@@ -428,12 +427,11 @@ pub fn compare_async_translate() -> Comparison {
     let s = async_sys.stats();
     assert_eq!(s.translation_ns, 0, "async mode must not translate inline");
     assert!(s.async_published >= 1, "async run must publish regions");
-    let after = Measurement {
-        name: "async_translate/queue_publish".into(),
-        ns_per_iter: s.async_stall_ns as f64 / s.async_enqueued.max(1) as f64,
-        iters_per_sample: s.async_enqueued.max(1),
-        samples: 1,
-    };
+    let after = Measurement::single(
+        "async_translate/queue_publish",
+        s.async_stall_ns as f64 / s.async_enqueued.max(1) as f64,
+        s.async_enqueued.max(1),
+    );
 
     Comparison {
         name: "async_translate".into(),
@@ -511,6 +509,10 @@ pub struct SweepTiming {
     pub parallel_s: f64,
     /// Worker threads used for the parallel sweep.
     pub threads: usize,
+    /// Hardware threads the host reports
+    /// ([`std::thread::available_parallelism`]) — recorded so a committed
+    /// JSON is interpretable without knowing the machine it ran on.
+    pub host_threads: usize,
     /// `true` when the machine has a single hardware thread: the
     /// "parallel" run would be the serial run again, so it is skipped and
     /// `parallel_s` mirrors `serial_s`. A `speedup()` of 1.00 from a
@@ -540,6 +542,7 @@ pub fn time_eval_sweep() -> SweepTiming {
             serial_s,
             parallel_s: serial_s,
             threads,
+            host_threads: threads,
             degenerate: true,
         };
     }
@@ -555,6 +558,7 @@ pub fn time_eval_sweep() -> SweepTiming {
         serial_s,
         parallel_s,
         threads,
+        host_threads: threads,
         degenerate: false,
     }
 }
@@ -563,20 +567,28 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-/// Serializes the comparisons, absolute points and sweep timing as a
-/// small hand-written JSON document (the container has no serde).
+/// Serializes the comparisons, absolute points, sweep timing and
+/// multi-guest scaling as a small hand-written JSON document (the
+/// container has no serde). Every timed number carries its median plus
+/// the min/max repetition spread.
 pub fn to_json(
     comparisons: &[Comparison],
     absolutes: &[Measurement],
     sweep: Option<&SweepTiming>,
+    multi: Option<&crate::MultiGuestScaling>,
 ) -> String {
-    let mut out = String::from("{\n  \"schema\": \"smarq-bench/1\",\n  \"comparisons\": [\n");
+    let mut out = String::from("{\n  \"schema\": \"smarq-bench/2\",\n  \"comparisons\": [\n");
     for (i, c) in comparisons.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"before_ns_per_iter\": {:.1}, \"after_ns_per_iter\": {:.1}, \"speedup\": {:.2}}}{}\n",
+            "    {{\"name\": \"{}\", \"before_ns_per_iter\": {:.1}, \"before_ns_min\": {:.1}, \"before_ns_max\": {:.1}, \"after_ns_per_iter\": {:.1}, \"after_ns_min\": {:.1}, \"after_ns_max\": {:.1}, \"samples\": {}, \"speedup\": {:.2}}}{}\n",
             json_escape(&c.name),
             c.before.ns_per_iter,
+            c.before.ns_min,
+            c.before.ns_max,
             c.after.ns_per_iter,
+            c.after.ns_min,
+            c.after.ns_max,
+            c.before.samples.min(c.after.samples),
             c.speedup(),
             if i + 1 < comparisons.len() { "," } else { "" }
         ));
@@ -584,9 +596,12 @@ pub fn to_json(
     out.push_str("  ],\n  \"absolute\": [\n");
     for (i, m) in absolutes.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"ns_per_iter\": {:.1}}}{}\n",
+            "    {{\"name\": \"{}\", \"ns_per_iter\": {:.1}, \"ns_min\": {:.1}, \"ns_max\": {:.1}, \"samples\": {}}}{}\n",
             json_escape(&m.name),
             m.ns_per_iter,
+            m.ns_min,
+            m.ns_max,
+            m.samples,
             if i + 1 < absolutes.len() { "," } else { "" }
         ));
     }
@@ -597,18 +612,45 @@ pub fn to_json(
             // publishing its serial time as "parallel" and the noise ratio
             // as a speedup would be meaningless, so those fields are null.
             out.push_str(&format!(
-                ",\n  \"eval_sweep\": {{\"serial_s\": {:.3}, \"parallel_s\": null, \"threads\": {}, \"speedup\": null, \"degenerate\": true}}",
-                s.serial_s, s.threads
+                ",\n  \"eval_sweep\": {{\"serial_s\": {:.3}, \"parallel_s\": null, \"threads\": {}, \"host_threads\": {}, \"speedup\": null, \"degenerate\": true}}",
+                s.serial_s, s.threads, s.host_threads
             ));
         } else {
             out.push_str(&format!(
-                ",\n  \"eval_sweep\": {{\"serial_s\": {:.3}, \"parallel_s\": {:.3}, \"threads\": {}, \"speedup\": {:.2}, \"degenerate\": false}}",
+                ",\n  \"eval_sweep\": {{\"serial_s\": {:.3}, \"parallel_s\": {:.3}, \"threads\": {}, \"host_threads\": {}, \"speedup\": {:.2}, \"degenerate\": false}}",
                 s.serial_s,
                 s.parallel_s,
                 s.threads,
+                s.host_threads,
                 s.speedup()
             ));
         }
+    }
+    if let Some(m) = multi {
+        out.push_str(&format!(
+            ",\n  \"multiguest\": {{\"guests\": {}, \"reps\": {}, \"host_threads\": {}, \"degenerate\": {}, \"shared_translations\": {}, \"private_translations\": {}, \"scaling_speedup\": {}, \"rows\": [\n",
+            m.guests,
+            m.reps,
+            m.host_threads,
+            m.degenerate,
+            m.shared_translations,
+            m.private_translations,
+            m.scaling_speedup()
+                .map_or("null".to_string(), |s| format!("{s:.2}")),
+        ));
+        for (i, r) in m.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"threads\": {}, \"wall_s\": {:.3}, \"wall_min_s\": {:.3}, \"wall_max_s\": {:.3}, \"guest_programs_per_s\": {:.2}, \"guest_instrs_per_s\": {:.0}}}{}\n",
+                r.threads,
+                r.wall_s,
+                r.wall_min_s,
+                r.wall_max_s,
+                r.guest_programs_per_s,
+                r.guest_instrs_per_s,
+                if i + 1 < m.rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]}");
     }
     out.push_str("\n}\n");
     out
@@ -634,12 +676,9 @@ mod tests {
 
     #[test]
     fn json_shape_is_plausible() {
-        let m = Measurement {
-            name: "abs".into(),
-            ns_per_iter: 12.5,
-            iters_per_sample: 10,
-            samples: 3,
-        };
+        let mut m = Measurement::single("abs", 12.5, 10);
+        m.ns_min = 11.0;
+        m.ns_max = 14.0;
         let c = Comparison {
             name: "cmp".into(),
             before: m.clone(),
@@ -648,9 +687,12 @@ mod tests {
                 ..m.clone()
             },
         };
-        let j = to_json(&[c], &[m], None);
+        let j = to_json(&[c], &[m], None, None);
+        assert!(j.contains("\"schema\": \"smarq-bench/2\""));
         assert!(j.contains("\"speedup\": 2.50"));
         assert!(j.contains("\"ns_per_iter\": 12.5"));
+        assert!(j.contains("\"ns_min\": 11.0"));
+        assert!(j.contains("\"ns_max\": 14.0"));
         assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
     }
 
@@ -660,11 +702,13 @@ mod tests {
             serial_s: 4.2,
             parallel_s: 4.2,
             threads: 1,
+            host_threads: 1,
             degenerate: true,
         };
-        let j = to_json(&[], &[], Some(&s));
+        let j = to_json(&[], &[], Some(&s), None);
         assert!(j.contains("\"degenerate\": true"));
         assert!(j.contains("\"threads\": 1"));
+        assert!(j.contains("\"host_threads\": 1"));
         assert!(j.contains("\"parallel_s\": null"));
         assert!(j.contains("\"speedup\": null"));
         assert!((s.speedup() - 1.0).abs() < 1e-12);
@@ -676,11 +720,63 @@ mod tests {
             serial_s: 4.0,
             parallel_s: 2.0,
             threads: 4,
+            host_threads: 4,
             degenerate: false,
         };
-        let j = to_json(&[], &[], Some(&s));
+        let j = to_json(&[], &[], Some(&s), None);
         assert!(j.contains("\"degenerate\": false"));
         assert!(j.contains("\"parallel_s\": 2.000"));
         assert!(j.contains("\"speedup\": 2.00"));
+    }
+
+    #[test]
+    fn multiguest_json_degenerate_has_null_scaling() {
+        let m = crate::MultiGuestScaling {
+            guests: 8,
+            reps: 5,
+            host_threads: 1,
+            degenerate: true,
+            rows: vec![crate::MultiGuestRow {
+                threads: 1,
+                wall_s: 1.5,
+                wall_min_s: 1.4,
+                wall_max_s: 1.6,
+                guest_programs_per_s: 5.33,
+                guest_instrs_per_s: 1.0e7,
+            }],
+            shared_translations: 4,
+            private_translations: 8,
+        };
+        let j = to_json(&[], &[], None, Some(&m));
+        assert!(j.contains("\"multiguest\""));
+        assert!(j.contains("\"scaling_speedup\": null"));
+        assert!(j.contains("\"shared_translations\": 4"));
+        assert!(j.contains("\"private_translations\": 8"));
+        assert!(j.contains("\"wall_min_s\": 1.400"));
+        assert_eq!(m.scaling_speedup(), None);
+    }
+
+    #[test]
+    fn multiguest_scaling_speedup_is_first_over_last() {
+        let row = |threads: usize, wall_s: f64| crate::MultiGuestRow {
+            threads,
+            wall_s,
+            wall_min_s: wall_s,
+            wall_max_s: wall_s,
+            guest_programs_per_s: 8.0 / wall_s,
+            guest_instrs_per_s: 1.0e7 / wall_s,
+        };
+        let m = crate::MultiGuestScaling {
+            guests: 8,
+            reps: 5,
+            host_threads: 4,
+            degenerate: false,
+            rows: vec![row(1, 4.0), row(2, 2.5), row(4, 2.0)],
+            shared_translations: 4,
+            private_translations: 8,
+        };
+        assert!((m.scaling_speedup().unwrap() - 2.0).abs() < 1e-12);
+        let j = to_json(&[], &[], None, Some(&m));
+        assert!(j.contains("\"scaling_speedup\": 2.00"));
     }
 }

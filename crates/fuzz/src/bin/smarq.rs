@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! smarq fuzz   [--seed N] [--cases N] [--budget-secs S] [--corpus-dir DIR]
-//!              [--max-repros N] [--inject-fault drop-plain-deps|drop-anti]
+//!              [--max-repros N] [--multiguest G]
+//!              [--inject-fault drop-plain-deps|drop-anti]
 //!              [--expect-divergence]
 //! smarq replay PATH...        # corpus files or directories
 //! smarq lint   PATH... [--json FILE]   # static verification + lint passes
@@ -25,7 +26,8 @@ use std::time::Duration;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: smarq fuzz [--seed N] [--cases N] [--budget-secs S] [--corpus-dir DIR]\n\
-         \x20                 [--max-repros N] [--inject-fault drop-plain-deps|drop-anti]\n\
+         \x20                 [--max-repros N] [--multiguest G]\n\
+         \x20                 [--inject-fault drop-plain-deps|drop-anti]\n\
          \x20                 [--expect-divergence]\n\
          \x20      smarq replay PATH...\n\
          \x20      smarq lint PATH... [--json FILE]\n\
@@ -81,6 +83,10 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
             },
             "--max-repros" => match parse_num("--max-repros", value) {
                 Ok(v) => params.max_repros = v,
+                Err(e) => return fail(&e),
+            },
+            "--multiguest" => match parse_num("--multiguest", value) {
+                Ok(v) => params.multi_guests = v,
                 Err(e) => return fail(&e),
             },
             "--corpus-dir" => match value {

@@ -30,4 +30,7 @@ pub use driver::{run_campaign, CampaignOutcome, CampaignParams};
 pub use gen::{generate, FuzzParams};
 pub use lint::{lint_entries, lint_paths, lint_program, Finding, LintOutcome};
 pub use minimize::{minimize, Minimized};
-pub use oracle::{check_program, schemes, Divergence, OracleParams, OracleReport};
+pub use oracle::{
+    check_multi_guest, check_program, schemes, Divergence, MultiGuestReport, OracleParams,
+    OracleReport,
+};

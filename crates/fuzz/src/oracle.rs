@@ -35,13 +35,23 @@
 //! the validator — which is fed the same wrong dependences — but cannot
 //! slip past the independent static verifier, the differential or the
 //! end-to-end state check.
+//!
+//! A separate multi-guest oracle ([`check_multi_guest`]) runs G distinct
+//! programs as concurrent tenants of one shared
+//! [`smarq_runtime::TranslationHub`] under a seeded interleaved schedule
+//! and cross-checks every guest against the same program run alone —
+//! covering the shared-cache, cross-guest-invalidation and scheduling
+//! machinery the single-guest layers cannot reach.
 
 use smarq::queue::AliasQueue;
 use smarq::validate::validate_allocation;
 use smarq::{AliasCode, AllocScratch, Dep, DepGraph, MemOpId};
 use smarq_guest::{ArchState, Interpreter, Program, RunOutcome};
 use smarq_opt::{optimize_superblock_traced, OptConfig};
-use smarq_runtime::{DispatchMode, DynOptSystem, ExecTier, StepExecutor, StopReason, SystemConfig};
+use smarq_runtime::{
+    run_multi_interleaved, DispatchMode, DynOptSystem, ExecTier, GuestContext, HubConfig,
+    StepExecutor, StopReason, SystemConfig, TranslationHub,
+};
 
 /// Oracle budgets and system knobs.
 #[derive(Clone, Copy, Debug)]
@@ -154,6 +164,19 @@ pub enum Divergence {
         /// Edge-set difference summary.
         detail: String,
     },
+    /// Multi-guest: G guests sharing a [`TranslationHub`] diverged from
+    /// the same programs run alone — a wrong per-guest architectural
+    /// state, a broken publish ledger, a violated translate-once
+    /// guarantee, or a seeded schedule that does not replay
+    /// deterministically.
+    MultiGuestMismatch {
+        /// Scheme label from [`schemes`].
+        scheme: &'static str,
+        /// The interleaving seed the divergence reproduces under.
+        seed: u64,
+        /// What diverged between shared-hub and solo execution.
+        detail: String,
+    },
     /// Layer 4: `check_first` disagrees with the full-scan `check`.
     QueueMismatch {
         /// Scheme label.
@@ -177,6 +200,7 @@ impl Divergence {
             Divergence::ValidatorReject { .. } => "validator-reject",
             Divergence::StaticVerify { .. } => "static-verify",
             Divergence::DepGraphMismatch { .. } => "depgraph-mismatch",
+            Divergence::MultiGuestMismatch { .. } => "multiguest-mismatch",
             Divergence::QueueMismatch { .. } => "queue-mismatch",
         }
     }
@@ -229,6 +253,14 @@ impl std::fmt::Display for Divergence {
             } => write!(
                 f,
                 "depgraph-mismatch under {scheme} region {region}: {detail}"
+            ),
+            Divergence::MultiGuestMismatch {
+                scheme,
+                seed,
+                detail,
+            } => write!(
+                f,
+                "multiguest-mismatch under {scheme} (seed {seed:#x}): {detail}"
             ),
             Divergence::QueueMismatch {
                 scheme,
@@ -480,6 +512,158 @@ pub fn check_program(program: &Program, params: &OracleParams) -> Result<OracleR
     Ok(report)
 }
 
+/// What a green multi-guest oracle run covered.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MultiGuestReport {
+    /// Schemes executed end to end.
+    pub schemes: usize,
+    /// Guests in the shared-hub run (the distinct programs plus one
+    /// duplicate of guest 0, which exercises cross-guest cache sharing).
+    pub guests: usize,
+    /// Schemes on which the translate-once counter check was exact (it is
+    /// only decidable for rollback-free runs: shared rollback budgets and
+    /// the shared blacklist legitimately change which regions form).
+    pub translate_once_checks: usize,
+}
+
+/// Multi-guest differential oracle: runs `programs` (each as its own
+/// guest, plus a duplicate of `programs[0]` to exercise cross-guest cache
+/// sharing) through one shared [`TranslationHub`] under a seeded
+/// interleaved schedule, and cross-checks every guest against the same
+/// program run alone.
+///
+/// Translation is inline (`workers = 0`), so the whole run — publishes,
+/// withdrawals, deopts included — is a pure function of `seed`; a
+/// divergence replays from the seed and the generating seeds alone. The
+/// oracle checks, per scheme:
+///
+/// * every guest's final architectural state is bit-exact vs. a pure
+///   interpreter run of its program;
+/// * the hub's publish ledger balances and nothing is left in flight;
+/// * on rollback-free runs, the shared cache translated each unique
+///   region exactly once across guests (the solo runs' claim counts,
+///   with the duplicate guest counted once);
+/// * re-running the same seed reproduces identical per-guest states and
+///   an identical hub counter trajectory.
+///
+/// # Errors
+/// [`Divergence::Nontermination`] if any reference run exhausts its
+/// budget (a skip), otherwise the first [`Divergence::MultiGuestMismatch`]
+/// found.
+pub fn check_multi_guest(
+    programs: &[Program],
+    params: &OracleParams,
+    seed: u64,
+) -> Result<MultiGuestReport, Divergence> {
+    let mut refs = Vec::with_capacity(programs.len());
+    for p in programs {
+        let mut reference = Interpreter::new();
+        if reference.run(p, params.interp_budget) == RunOutcome::BudgetExhausted {
+            return Err(Divergence::Nontermination);
+        }
+        refs.push(reference.arch_state());
+    }
+    // The references halted within `interp_budget`; 4x headroom means a
+    // guest that fails to halt is a real lost-progress bug, not a budget
+    // artifact.
+    let budget = params.interp_budget.saturating_mul(4);
+
+    let mut report = MultiGuestReport::default();
+    for (label, opt) in schemes() {
+        let mut cfg = SystemConfig::with_opt(opt.clone());
+        cfg.hot_threshold = params.hot_threshold;
+        cfg.unroll_factor = params.unroll_factor;
+        let mut hub_cfg = HubConfig::from_system(&cfg);
+        hub_cfg.workers = 0; // inline translation: deterministic in `seed`
+        let err = |detail: String| Divergence::MultiGuestMismatch {
+            scheme: label,
+            seed,
+            detail,
+        };
+
+        // Solo baselines: each program alone through a private hub.
+        let mut solo_started = 0u64;
+        let mut solo_rollbacks = 0u64;
+        for (i, p) in programs.iter().enumerate() {
+            let hub = TranslationHub::new(hub_cfg.clone());
+            let mut g = GuestContext::new(i, p.clone(), &hub);
+            g.run_to_completion(&hub, budget);
+            if !g.halted() {
+                return Err(err(format!("solo guest {i} did not halt within budget")));
+            }
+            if g.interp().arch_state() != refs[i] {
+                return Err(err(format!(
+                    "solo guest {i}: {}",
+                    arch_diff(&refs[i], &g.interp().arch_state())
+                )));
+            }
+            let s = hub.stats();
+            solo_started += s.translations_started;
+            solo_rollbacks += s.rollbacks;
+        }
+
+        // The shared run, twice with the same seed: once for the
+        // differential, once for replayability.
+        let run = |run_seed: u64| {
+            let hub = TranslationHub::new(hub_cfg.clone());
+            let mut guests: Vec<GuestContext> = programs
+                .iter()
+                .chain(std::iter::once(&programs[0]))
+                .enumerate()
+                .map(|(i, p)| GuestContext::new(i, p.clone(), &hub))
+                .collect();
+            run_multi_interleaved(&hub, &mut guests, run_seed, budget);
+            let states: Vec<ArchState> = guests.iter().map(|g| g.interp().arch_state()).collect();
+            let halted = guests.iter().all(GuestContext::halted);
+            hub.drain();
+            (states, halted, hub.stats())
+        };
+        let (states, halted, stats) = run(seed);
+        if !halted {
+            return Err(err("a shared-hub guest did not halt within budget".into()));
+        }
+        for (i, got) in states.iter().enumerate() {
+            // Guests are programs[0..n] followed by programs[0] again.
+            let expect = if i < programs.len() {
+                &refs[i]
+            } else {
+                &refs[0]
+            };
+            if got != expect {
+                return Err(err(format!("guest {i}: {}", arch_diff(expect, got))));
+            }
+        }
+        if stats.inflight_keys != 0
+            || stats.translations_started + stats.retranslations
+                != stats.translations_published + stats.publish_conflicts
+            || stats.published_keys + stats.abandoned_keys != stats.translations_started
+        {
+            return Err(err(format!("publish ledger does not balance: {stats:?}")));
+        }
+        // Translate-once is only exact without rollbacks: shared rollback
+        // budgets and the shared blacklist legitimately reshape regions.
+        if solo_rollbacks == 0 && stats.rollbacks == 0 {
+            if stats.translations_started != solo_started {
+                return Err(err(format!(
+                    "translate-once violated: shared hub claimed {} translations, \
+                     solo runs claimed {solo_started}",
+                    stats.translations_started
+                )));
+            }
+            report.translate_once_checks += 1;
+        }
+        let (states2, _, stats2) = run(seed);
+        if states2 != states || stats2 != stats {
+            return Err(err(
+                "same seed did not replay the same states and counters".into()
+            ));
+        }
+        report.schemes += 1;
+        report.guests = programs.len() + 1;
+    }
+    Ok(report)
+}
+
 /// Replays `alloc`'s alias code on an [`AliasQueue`] and compares the
 /// bitmask fast path against the full scan at every C-bit instruction.
 fn queue_differential(
@@ -564,6 +748,34 @@ mod tests {
             report.regions_verified > 0,
             "no regions statically verified"
         );
+    }
+
+    #[test]
+    fn multi_guest_clean_set_passes() {
+        let programs: Vec<_> = (10..13)
+            .map(|s| generate(s, &FuzzParams::default()))
+            .collect();
+        let report = check_multi_guest(&programs, &OracleParams::default(), 0x5eed)
+            .expect("no multi-guest divergence");
+        assert_eq!(report.schemes, 6);
+        assert_eq!(report.guests, 4, "three distinct programs + one duplicate");
+    }
+
+    #[test]
+    fn multi_guest_nontermination_is_a_skip() {
+        let programs: Vec<_> = (10..12)
+            .map(|s| generate(s, &FuzzParams::default()))
+            .collect();
+        let d = check_multi_guest(
+            &programs,
+            &OracleParams {
+                interp_budget: 3,
+                ..OracleParams::default()
+            },
+            0x5eed,
+        )
+        .unwrap_err();
+        assert!(!d.is_failure());
     }
 
     #[test]

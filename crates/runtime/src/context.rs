@@ -1,0 +1,491 @@
+//! Per-tenant guest execution context for the multi-guest runtime.
+//!
+//! A [`GuestContext`] is the unshared half of the `DynOptSystem` split:
+//! its own interpreter (architectural state), resident `VliwState` /
+//! `FastState`, cycle and fast-functional executors (each owning its
+//! alias-detection queue — per-context by construction, as the paper's
+//! software-managed queue is per-hardware-context), statistics, and the
+//! chain-follow fast path over a private flat cache of *pins* into the
+//! shared [`crate::TranslationHub`] cache.
+//!
+//! Sharing protocol: published regions are pinned as
+//! `Arc<SharedRegion>` and executed without any hub interaction on the
+//! hot path. At every dispatch-step boundary the context compares the
+//! hub's invalidation epoch with the one it last saw and, when it moved,
+//! revalidates every pin (dropping withdrawn or replaced regions and
+//! severing their chain links — PR5's unlink machinery, local edition).
+//! Mid-chain executions of a just-withdrawn region are legal stale
+//! executions, exactly the window PR7's async publication opened; the
+//! alias hardware still catches every true aliasing.
+//!
+//! The tier-down sampling oracle of the single-guest system is *not*
+//! replicated here: the multiguest fuzz oracle cross-checks per-guest
+//! architectural state against solo runs instead, which covers the same
+//! lowering bugs without cloning guest memory on the multi-guest hot
+//! path.
+
+use crate::hub::{HubProbe, RegionKey, RollbackVerdict, SharedRegion, TranslationHub};
+use crate::region::{ChainAccum, ChainLink, NO_REGION};
+use crate::stats::{RegionRecord, SystemStats};
+use crate::system::{ExecTier, RunStatus, StopReason};
+use smarq::AllocScratch;
+use smarq_guest::{BlockId, Interpreter, Program};
+use smarq_opt::fastcomp::FastSim;
+use smarq_vliw::{
+    AliasViolation, AnyAliasHw, FastState, MachineConfig, RegionOutcome, Simulator, VliwState,
+};
+use std::sync::Arc;
+
+/// A pinned shared region plus this guest's private chain links
+/// (memoization is per-guest: links index into *this* context's region
+/// table and are never shared across threads).
+struct LocalRegion {
+    shared: Arc<SharedRegion>,
+    links: Vec<ChainLink>,
+}
+
+/// One guest tenant: private architectural and resident state, executing
+/// translations shared through a [`TranslationHub`].
+pub struct GuestContext {
+    id: usize,
+    program: Arc<Program>,
+    program_hash: u64,
+    hot_threshold: u64,
+    exec_tier: ExecTier,
+    machine: MachineConfig,
+    interp: Interpreter,
+    vstate: VliwState,
+    sim: Simulator<AnyAliasHw>,
+    fast_sim: FastSim,
+    fstate: FastState,
+    /// Flat cache: `cache[block.index()]` holds the local region index or
+    /// [`NO_REGION`] — same one-indexed-load dispatch as the single-guest
+    /// system, over pins instead of owned regions.
+    cache: Vec<u32>,
+    regions: Vec<Option<LocalRegion>>,
+    /// `abandoned[block.index()]`: the hub gave up on this entry.
+    abandoned: Vec<bool>,
+    scratch: AllocScratch,
+    stats: SystemStats,
+    /// Hub invalidation epoch last seen; pins are revalidated at the
+    /// next dispatch-step boundary after it moves.
+    seen_epoch: u64,
+    cursor: Option<BlockId>,
+}
+
+impl GuestContext {
+    /// Creates a context for `program`, attached to `hub` (the hub's
+    /// config supplies every shared knob: hot threshold, exec tier,
+    /// machine model).
+    pub fn new(id: usize, program: Program, hub: &TranslationHub) -> Self {
+        let cfg = hub.config();
+        let hw = AnyAliasHw::for_kind(cfg.opt.hw, cfg.opt.num_alias_regs);
+        let sim = Simulator::new(cfg.machine, hw);
+        let fast_sim = FastSim::new(cfg.opt.hw, cfg.opt.num_alias_regs);
+        let mut interp = Interpreter::new();
+        interp.load_data(&program);
+        let num_blocks = program.num_blocks();
+        let entry = program.entry();
+        let program_hash = crate::hub::hash_program(&program);
+        GuestContext {
+            id,
+            program: Arc::new(program),
+            program_hash,
+            hot_threshold: cfg.hot_threshold,
+            exec_tier: cfg.exec_tier,
+            machine: cfg.machine,
+            interp,
+            vstate: VliwState::new(),
+            sim,
+            fast_sim,
+            fstate: FastState::new(),
+            cache: vec![NO_REGION; num_blocks],
+            regions: Vec::new(),
+            abandoned: vec![false; num_blocks],
+            scratch: AllocScratch::new(),
+            stats: SystemStats::default(),
+            seen_epoch: 0,
+            cursor: Some(entry),
+        }
+    }
+
+    /// This guest's tenant id (assigned by the creator; stable).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The guest-code hash this context's regions are keyed by.
+    pub fn program_hash(&self) -> u64 {
+        self.program_hash
+    }
+
+    /// The accumulated statistics.
+    pub fn stats(&self) -> &SystemStats {
+        &self.stats
+    }
+
+    /// The guest interpreter (architectural state lives here).
+    pub fn interp(&self) -> &Interpreter {
+        &self.interp
+    }
+
+    /// Whether the guest program has halted.
+    pub fn halted(&self) -> bool {
+        self.cursor.is_none()
+    }
+
+    /// Runs until the guest halts or roughly `budget` guest instructions
+    /// have retired (resumable, like the single-guest system).
+    pub fn run_to_completion(&mut self, hub: &TranslationHub, budget: u64) -> StopReason {
+        match self.run_bounded(hub, u64::MAX, budget) {
+            RunStatus::Halted => StopReason::Halted,
+            RunStatus::BudgetExhausted => StopReason::BudgetExhausted,
+            RunStatus::Running => unreachable!("u64::MAX dispatch steps"),
+        }
+    }
+
+    /// Runs at most `max_steps` dispatch steps (each an interpreted block
+    /// or a region chain). Hub invalidations are picked up at each step
+    /// boundary — the multi-guest mirror of PR7's publish discipline.
+    pub fn run_bounded(&mut self, hub: &TranslationHub, max_steps: u64, budget: u64) -> RunStatus {
+        let Some(mut cur) = self.cursor else {
+            return RunStatus::Halted;
+        };
+        let mut steps = 0u64;
+        while steps < max_steps {
+            steps += 1;
+            let epoch = hub.epoch();
+            if epoch != self.seen_epoch {
+                self.revalidate(hub);
+                self.seen_epoch = epoch;
+            }
+            if self.live_guest_instrs() >= budget {
+                self.cursor = Some(cur);
+                self.sync_interp_stats();
+                return RunStatus::BudgetExhausted;
+            }
+            let next = self.step(hub, cur, budget);
+            match next {
+                Some(b) => cur = b,
+                None => {
+                    self.cursor = None;
+                    self.sync_interp_stats();
+                    return RunStatus::Halted;
+                }
+            }
+        }
+        self.cursor = Some(cur);
+        self.sync_interp_stats();
+        RunStatus::Running
+    }
+
+    #[inline]
+    fn live_guest_instrs(&self) -> u64 {
+        self.interp.executed_instrs() + self.stats.region_guest_instrs
+    }
+
+    fn sync_interp_stats(&mut self) {
+        self.stats.interp_instrs = self.interp.executed_instrs();
+        self.stats.interp_cycles = self.stats.interp_instrs * self.machine.interp_cycles_per_instr;
+    }
+
+    #[inline]
+    fn cached_region(&self, b: BlockId) -> Option<usize> {
+        match self.cache.get(b.index()) {
+            Some(&idx) if idx != NO_REGION => Some(idx as usize),
+            _ => None,
+        }
+    }
+
+    fn step(&mut self, hub: &TranslationHub, cur: BlockId, budget: u64) -> Option<BlockId> {
+        self.stats.dispatch_lookups += 1;
+        if let Some(idx) = self.cached_region(cur) {
+            return self.run_region_local(hub, idx, budget);
+        }
+        let next = self.interp.step_block(&self.program, cur);
+        self.maybe_request(hub, cur);
+        next
+    }
+
+    /// Hot-block detection after an interpreted block: probe-or-request
+    /// through the hub. Single-flight means at most one guest anywhere
+    /// actually translates; everyone else subscribes by re-probing here
+    /// on later dispatches of the still-hot block.
+    fn maybe_request(&mut self, hub: &TranslationHub, cur: BlockId) {
+        if self.interp.profile().block_count(cur) >= self.hot_threshold
+            && self.cached_region(cur).is_none()
+            && !self.abandoned[cur.index()]
+        {
+            let key = RegionKey {
+                program: self.program_hash,
+                entry: cur,
+            };
+            match hub.request(key, &self.program, self.interp.profile(), &mut self.scratch) {
+                HubProbe::Hit(r) => self.install_local(r),
+                HubProbe::Pending | HubProbe::Miss => {}
+                HubProbe::Abandoned => self.abandoned[cur.index()] = true,
+            }
+        }
+    }
+
+    /// Pins a published region into the local flat cache. Per-guest
+    /// region records count *installs* (a retranslated region re-installs
+    /// under a new local slot).
+    fn install_local(&mut self, r: Arc<SharedRegion>) {
+        let entry = r.code.entry;
+        let links = vec![ChainLink::Unresolved; r.code.vliw.exits.len()];
+        let idx = self.regions.len();
+        self.stats.regions_formed += 1;
+        self.stats.per_region.push(RegionRecord {
+            entry,
+            opt: r.code.opt_stats,
+            entries: 0,
+            rollbacks: 0,
+            retranslations: 0,
+        });
+        self.regions.push(Some(LocalRegion { shared: r, links }));
+        self.cache[entry.index()] = idx as u32;
+    }
+
+    /// Drops every pin the hub has withdrawn or replaced since the last
+    /// boundary (pointer identity decides: a retranslation published a
+    /// *new* `Arc`, so the old pin no longer matches).
+    fn revalidate(&mut self, hub: &TranslationHub) {
+        for idx in 0..self.regions.len() {
+            let Some(lr) = &self.regions[idx] else {
+                continue;
+            };
+            let key = lr.shared.key;
+            let entry = lr.shared.code.entry;
+            let keep = match hub.probe(key) {
+                HubProbe::Hit(cur) => {
+                    let Some(lr) = &self.regions[idx] else {
+                        unreachable!("checked above")
+                    };
+                    Arc::ptr_eq(&cur, &lr.shared)
+                }
+                HubProbe::Abandoned => {
+                    self.abandoned[entry.index()] = true;
+                    false
+                }
+                HubProbe::Pending | HubProbe::Miss => false,
+            };
+            if !keep {
+                self.remove_local(idx);
+            }
+        }
+    }
+
+    /// Unpins local slot `idx`: clears the flat-cache mapping, drops the
+    /// slot's own memoized links and severs every link chaining into it.
+    fn remove_local(&mut self, idx: usize) {
+        let Some(lr) = self.regions[idx].take() else {
+            return;
+        };
+        let entry = lr.shared.code.entry;
+        if self.cache[entry.index()] == idx as u32 {
+            self.cache[entry.index()] = NO_REGION;
+        }
+        let resolved = lr
+            .links
+            .iter()
+            .filter(|l| **l != ChainLink::Unresolved)
+            .count() as u64;
+        self.stats.chain_unlinks += resolved;
+        let stale = ChainLink::Region(idx as u32);
+        for r in self.regions.iter_mut().flatten() {
+            for l in &mut r.links {
+                if *l == stale {
+                    *l = ChainLink::Unresolved;
+                    self.stats.chain_unlinks += 1;
+                }
+            }
+        }
+    }
+
+    fn store_resident(&mut self, functional: bool) {
+        if functional {
+            self.fstate
+                .store_guest(&mut self.interp.regs, &mut self.interp.fregs);
+        } else {
+            self.vstate
+                .store_guest(&mut self.interp.regs, &mut self.interp.fregs);
+        }
+    }
+
+    fn flush_chain_stats(&mut self, acc: &ChainAccum) {
+        self.stats.region_guest_instrs += acc.guest;
+        self.stats.vliw_cycles += acc.cycles;
+        self.stats.region_mem_ops += acc.mem_ops;
+        self.stats.alias_entries_scanned += acc.scanned;
+        self.stats.region_entries += acc.entries;
+        self.stats.chain_follows += acc.follows;
+        self.stats.dispatch_lookups += acc.lookups;
+        self.stats.async_stale_entries += acc.stale;
+    }
+
+    /// The chained region-execution loop over pinned shared code — one
+    /// body for both tiers (the cycle simulator and the fast-functional
+    /// executor keep guest state resident in their own register files;
+    /// only the marshal points and the run call differ).
+    fn run_region_local(
+        &mut self,
+        hub: &TranslationHub,
+        start: usize,
+        budget: u64,
+    ) -> Option<BlockId> {
+        let functional = self.exec_tier == ExecTier::Functional;
+        if functional {
+            self.fstate
+                .load_guest(&self.interp.regs, &self.interp.fregs);
+        } else {
+            self.vstate
+                .load_guest(&self.interp.regs, &self.interp.fregs);
+        }
+        let guest_base = self.interp.executed_instrs() + self.stats.region_guest_instrs;
+        let hub_gen = hub.blacklist_gen();
+        let mut acc = ChainAccum::default();
+        let mut idx = start;
+        let mut run_idx = idx;
+        let mut run_entries = 0u64;
+        loop {
+            let region = self.regions[idx]
+                .as_ref()
+                .expect("dispatched region is pinned");
+            if region.shared.code.blacklist_gen != hub_gen {
+                acc.stale += 1;
+            }
+            let (outcome, rstats) = if functional {
+                let fast = region
+                    .shared
+                    .code
+                    .fast
+                    .as_ref()
+                    .expect("hub compiles fast code for functional-tier guests");
+                self.stats.tier_fast_entries += 1;
+                self.fast_sim
+                    .run_region(fast, &mut self.fstate, &mut self.interp.mem)
+            } else {
+                let (o, r) = self
+                    .sim
+                    .run_region_resident(
+                        &region.shared.code.vliw,
+                        region.shared.code.write_mask,
+                        &mut self.vstate,
+                        &mut self.interp.mem,
+                    )
+                    .expect("translated region is well formed");
+                acc.cycles += r.cycles;
+                (o, r)
+            };
+            acc.mem_ops += rstats.mem_ops;
+            acc.scanned += rstats.entries_scanned;
+            acc.entries += 1;
+            run_entries += 1;
+            let exit_id = match outcome {
+                RegionOutcome::Exited { exit_id } => exit_id as usize,
+                RegionOutcome::AliasException(v) => {
+                    // The executor rolled the resident state back to this
+                    // region's entry; surface it and deoptimize through
+                    // the hub (blacklist + withdraw + retranslate).
+                    self.store_resident(functional);
+                    if functional {
+                        self.stats.tier_deopts += 1;
+                    }
+                    self.stats.per_region[run_idx].entries += run_entries;
+                    self.flush_chain_stats(&acc);
+                    return self.deopt(hub, idx, v);
+                }
+            };
+            acc.guest += self.regions[idx]
+                .as_ref()
+                .expect("still pinned")
+                .shared
+                .code
+                .exit_instrs[exit_id];
+            let link = self.regions[idx].as_ref().expect("still pinned").links[exit_id];
+            let next_idx = match link {
+                ChainLink::Region(j) => j as usize,
+                ChainLink::Unresolved => {
+                    let target = self.regions[idx]
+                        .as_ref()
+                        .expect("still pinned")
+                        .shared
+                        .code
+                        .vliw
+                        .exits[exit_id]
+                        .guest_block;
+                    let Some(target) = target else {
+                        // Guest halt.
+                        self.store_resident(functional);
+                        self.stats.per_region[run_idx].entries += run_entries;
+                        self.flush_chain_stats(&acc);
+                        return None;
+                    };
+                    acc.lookups += 1;
+                    match self.cached_region(BlockId(target)) {
+                        Some(j) => {
+                            self.regions[idx].as_mut().expect("still pinned").links[exit_id] =
+                                ChainLink::Region(j as u32);
+                            j
+                        }
+                        None => {
+                            // Not pinned (yet): never memoized, so a later
+                            // publish of the target is picked up here.
+                            self.store_resident(functional);
+                            self.stats.per_region[run_idx].entries += run_entries;
+                            self.flush_chain_stats(&acc);
+                            return Some(BlockId(target));
+                        }
+                    }
+                }
+            };
+            // Chain boundary: stop following links once the budget is
+            // spent so the scheduler can observe it.
+            if guest_base + acc.guest >= budget {
+                self.store_resident(functional);
+                self.stats.per_region[run_idx].entries += run_entries;
+                self.flush_chain_stats(&acc);
+                return Some(
+                    self.regions[next_idx]
+                        .as_ref()
+                        .expect("linked region is pinned")
+                        .shared
+                        .code
+                        .entry,
+                );
+            }
+            acc.follows += 1;
+            if next_idx != run_idx {
+                self.stats.per_region[run_idx].entries += run_entries;
+                run_idx = next_idx;
+                run_entries = 0;
+            }
+            idx = next_idx;
+        }
+    }
+
+    /// Alias-exception deopt: report the faulting pair to the hub (which
+    /// blacklists it for every guest and withdraws/retranslates or
+    /// abandons the region), drop the local pin, and make forward
+    /// progress by interpreting one block from the region entry.
+    fn deopt(&mut self, hub: &TranslationHub, idx: usize, v: AliasViolation) -> Option<BlockId> {
+        self.stats.rollbacks += 1;
+        self.stats.per_region[idx].rollbacks += 1;
+        let shared = Arc::clone(
+            &self.regions[idx]
+                .as_ref()
+                .expect("faulting region is pinned")
+                .shared,
+        );
+        let entry = shared.code.entry;
+        let a = shared.code.tag_origin[v.checker_tag as usize];
+        let b = shared.code.tag_origin[v.producer_tag as usize];
+        let verdict = hub.report_rollback(&shared, a, b, &mut self.scratch);
+        self.remove_local(idx);
+        if verdict == RollbackVerdict::Abandoned {
+            self.abandoned[entry.index()] = true;
+        }
+        self.interp.step_block(&self.program, entry)
+    }
+}

@@ -36,10 +36,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod context;
+mod hub;
+mod multi;
+mod region;
 mod stats;
 mod system;
 pub mod translate_service;
 
+pub use context::GuestContext;
+pub use hub::{
+    hash_program, HubConfig, HubProbe, HubStats, RegionKey, RollbackVerdict, SharedRegion,
+    TranslationHub,
+};
+pub use multi::{run_multi, run_multi_interleaved, DEFAULT_SLICE_STEPS};
+pub use region::RegionCode;
 pub use stats::{RegionRecord, SystemStats};
 pub use system::{DispatchMode, DynOptSystem, ExecTier, RunStatus, StopReason, SystemConfig};
 pub use translate_service::{

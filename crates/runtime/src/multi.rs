@@ -1,0 +1,120 @@
+//! Multi-guest schedulers: run N [`GuestContext`]s over one shared
+//! [`TranslationHub`].
+//!
+//! Two drivers:
+//!
+//! * [`run_multi`] — the production shape: M std worker threads pull
+//!   guests from a shared run queue, execute a dispatch-step slice, and
+//!   requeue until every guest halts (or exhausts its budget). One guest
+//!   runs on at most one thread at a time — each context's state needs no
+//!   internal locking — while the hub serves translations to all of them.
+//! * [`run_multi_interleaved`] — a single-threaded, seeded round-robin
+//!   double with the same observable semantics. With `hub.workers = 0`
+//!   (inline translation) the whole multi-guest run is deterministic, and
+//!   the same seed replays the same schedule — the configuration the
+//!   multiguest fuzz oracle drives, mirroring PR7's seeded
+//!   race-interleaving harness.
+
+use crate::context::GuestContext;
+use crate::hub::TranslationHub;
+use crate::region::xorshift64;
+use crate::system::RunStatus;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// Dispatch steps a guest runs before the scheduler rotates it out — a
+/// balance between scheduling overhead and cross-guest publish latency
+/// (hub invalidations are observed at slice boundaries at the latest).
+pub const DEFAULT_SLICE_STEPS: u64 = 1024;
+
+/// Runs every guest to halt (or to its `budget` of guest instructions)
+/// on `threads` worker threads, `slice` dispatch steps at a time.
+/// Returns the contexts in their original order for inspection.
+pub fn run_multi(
+    hub: &TranslationHub,
+    guests: Vec<GuestContext>,
+    threads: usize,
+    budget: u64,
+    slice: u64,
+) -> Vec<GuestContext> {
+    let slice = slice.max(1);
+    if threads <= 1 {
+        // Degenerate single-threaded run: plain round-robin, no locks.
+        let mut guests = guests;
+        loop {
+            let mut live = false;
+            for g in &mut guests {
+                if g.halted() {
+                    continue;
+                }
+                if g.run_bounded(hub, slice, budget) == RunStatus::Running {
+                    live = true;
+                }
+            }
+            if !live {
+                return guests;
+            }
+        }
+    }
+    let n = guests.len();
+    let slots: Vec<Mutex<Option<GuestContext>>> =
+        guests.into_iter().map(|g| Mutex::new(Some(g))).collect();
+    let queue: Mutex<VecDeque<usize>> = Mutex::new((0..n).collect());
+    let remaining = AtomicUsize::new(n);
+    thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                if remaining.load(Ordering::SeqCst) == 0 {
+                    return;
+                }
+                let Some(i) = queue.lock().unwrap().pop_front() else {
+                    // Every queued guest is being run by another worker;
+                    // it may requeue, so spin politely until `remaining`
+                    // hits zero.
+                    thread::yield_now();
+                    continue;
+                };
+                // Uncontended: a guest index is in the queue xor owned by
+                // a worker, so this lock never blocks meaningfully.
+                let mut slot = slots[i].lock().unwrap();
+                let g = slot.as_mut().expect("queued guest is present");
+                let status = g.run_bounded(hub, slice, budget);
+                drop(slot);
+                if status == RunStatus::Running {
+                    queue.lock().unwrap().push_back(i);
+                } else {
+                    remaining.fetch_sub(1, Ordering::SeqCst);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("all workers exited"))
+        .collect()
+}
+
+/// Single-threaded seeded round-robin: each turn picks a live guest and a
+/// slice length from an xorshift64 stream, so the interleaving of guest
+/// progress (and, with `hub.workers = 0`, of translations) is a pure
+/// function of `seed`. Failures found under a seed replay from the seed
+/// alone, like PR7's `run_interleaved` schedules.
+pub fn run_multi_interleaved(
+    hub: &TranslationHub,
+    guests: &mut [GuestContext],
+    seed: u64,
+    budget: u64,
+) {
+    let mut state = seed | 1;
+    let mut live: Vec<usize> = (0..guests.len()).filter(|&i| !guests[i].halted()).collect();
+    while !live.is_empty() {
+        let pick = (xorshift64(&mut state) % live.len() as u64) as usize;
+        let i = live[pick];
+        let steps = 1 + xorshift64(&mut state) % 13;
+        if guests[i].run_bounded(hub, steps, budget) != RunStatus::Running {
+            live.swap_remove(pick);
+        }
+    }
+}

@@ -1,5 +1,6 @@
 //! The dynamic optimization system loop.
 
+use crate::region::{exit_instr_counts, xorshift64, ChainAccum, ChainLink, NO_REGION};
 use crate::stats::{RegionRecord, SystemStats};
 use crate::translate_service::{
     FinishedTranslation, JobInput, JobKind, StepExecutor, ThreadedExecutor, TranslationExecutor,
@@ -9,7 +10,7 @@ use smarq::AllocScratch;
 use smarq_guest::Memory;
 use smarq_guest::{BlockId, Interpreter, Program};
 use smarq_ir::OpOrigin;
-use smarq_ir::{form_superblock, unroll_superblock, FormationParams, IrOp, Superblock};
+use smarq_ir::{form_superblock, unroll_superblock, FormationParams, Superblock};
 use smarq_opt::fastcomp::{self, FastProgram, FastSim};
 use smarq_opt::{
     optimize_superblock_traced, optimize_superblock_with_scratch, AliasBlacklist, OptConfig,
@@ -176,41 +177,6 @@ impl SystemConfig {
     }
 }
 
-/// Memoized dispatch decision for one region exit.
-///
-/// Link lifecycle: every exit starts `Unresolved`; the first time the
-/// running region leaves through it with the target block cached, the
-/// dispatcher memoizes `Region(n)` and subsequent executions follow the
-/// link without touching the translation cache. Retranslating or
-/// abandoning region `n` resets every `Region(n)` link (and the
-/// retranslated region's own outgoing links) back to `Unresolved`.
-/// Per-chain statistics accumulator: `run_region_chained` folds region
-/// execution stats in here (registers/locals on its hot loop) and
-/// flushes the totals into [`SystemStats`] once per chain.
-#[derive(Clone, Copy, Debug, Default)]
-struct ChainAccum {
-    guest: u64,
-    cycles: u64,
-    mem_ops: u64,
-    scanned: u64,
-    entries: u64,
-    follows: u64,
-    lookups: u64,
-    /// Entries into regions whose blacklist snapshot is older than the
-    /// system's (stale translations kept running while a fresher one is
-    /// produced in the background; async mode only).
-    stale: u64,
-}
-
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum ChainLink {
-    /// Not yet resolved, or invalidated: consult the translation cache.
-    Unresolved,
-    /// The exit target is the entry of cached region `n`: continue there
-    /// directly, guest state staying resident in the VLIW register file.
-    Region(u32),
-}
-
 struct CachedRegion {
     vliw: VliwProgram,
     tag_origin: Vec<OpOrigin>,
@@ -257,9 +223,6 @@ pub enum RunStatus {
     /// The guest-instruction budget ran out.
     BudgetExhausted,
 }
-
-/// Sentinel for "no region cached for this block" in the flat cache.
-const NO_REGION: u32 = u32::MAX;
 
 /// The dynamic binary optimization system (paper Figure 1).
 pub struct DynOptSystem {
@@ -1290,32 +1253,6 @@ impl DynOptSystem {
             self.retranslate(idx);
         }
     }
-}
-
-/// Xorshift64 step — the seeded schedule generator of
-/// [`DynOptSystem::run_interleaved`] (state must be non-zero).
-fn xorshift64(state: &mut u64) -> u64 {
-    let mut x = *state;
-    x ^= x << 13;
-    x ^= x >> 7;
-    x ^= x << 17;
-    *state = x;
-    x
-}
-
-/// Guest instructions architecturally covered when leaving through each
-/// exit: the number of non-exit ops before the exit, plus the terminators
-/// represented by earlier exits.
-fn exit_instr_counts(sb: &Superblock) -> Vec<u64> {
-    let mut counts = vec![0u64; sb.exits.len()];
-    let mut executed = 0u64;
-    for op in &sb.ops {
-        executed += 1;
-        if let IrOp::Exit { exit_id, .. } = op {
-            counts[*exit_id as usize] = executed;
-        }
-    }
-    counts
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 //!                  [--regs N] [--unroll N] [--budget N]
 //!                  [--dispatch naive|chained] [--exec-tier cycle|functional]
 //!                  [--async-translate] [--translate-workers N]
-//!                  [--translate-queue N]
+//!                  [--translate-queue N] [--guests N] [--threads M]
 //!                  [--dump-region] [--compare] [--verify]
 //! smarq-run lint PATH... [--json FILE]
 //! ```
@@ -25,9 +25,20 @@
 //! dispatch-step boundaries. `--translate-workers N` sizes the pool
 //! (`0` = a deterministic in-thread stepper) and `--translate-queue N`
 //! bounds the job queue.
+//!
+//! `--guests N` (N >= 2) switches to the multi-guest runtime: N tenants
+//! of the same program run over one shared `TranslationHub` (sharded
+//! translation cache, single-flight dedup, shared blacklist), scheduled
+//! on `--threads M` host threads. `--translate-workers` then sizes the
+//! hub's background pool (`0` = translate inline in the requesting
+//! guest) and `--compare` checks every guest bit-exactly against pure
+//! interpretation.
 
 use smarq_opt::OptConfig;
-use smarq_runtime::{DispatchMode, DynOptSystem, ExecTier, SystemConfig};
+use smarq_runtime::{
+    run_multi, DispatchMode, DynOptSystem, ExecTier, GuestContext, HubConfig, SystemConfig,
+    TranslationHub, DEFAULT_SLICE_STEPS,
+};
 use std::process::ExitCode;
 
 struct Args {
@@ -41,6 +52,8 @@ struct Args {
     async_translate: bool,
     translate_workers: Option<u32>,
     translate_queue: Option<u32>,
+    guests: usize,
+    threads: usize,
     dump_region: bool,
     compare: bool,
     verify: bool,
@@ -52,6 +65,7 @@ fn usage() -> ExitCode {
          [--regs N] [--unroll N] [--budget N] [--dispatch naive|chained] \
          [--exec-tier cycle|functional] [--async-translate] \
          [--translate-workers N] [--translate-queue N] \
+         [--guests N] [--threads M] \
          [--dump-region] [--compare] [--verify]\n\
          \x20      smarq-run lint PATH... [--json FILE]"
     );
@@ -125,6 +139,8 @@ fn parse_args() -> Result<Args, ExitCode> {
         async_translate: false,
         translate_workers: None,
         translate_queue: None,
+        guests: 1,
+        threads: 1,
         dump_region: false,
         compare: false,
         verify: false,
@@ -177,6 +193,20 @@ fn parse_args() -> Result<Args, ExitCode> {
                 args.translate_queue =
                     Some(value("--translate-queue")?.parse().map_err(|_| usage())?);
             }
+            "--guests" => {
+                args.guests = value("--guests")?.parse().map_err(|_| usage())?;
+                if args.guests == 0 {
+                    eprintln!("--guests must be at least 1");
+                    return Err(usage());
+                }
+            }
+            "--threads" => {
+                args.threads = value("--threads")?.parse().map_err(|_| usage())?;
+                if args.threads == 0 {
+                    eprintln!("--threads must be at least 1");
+                    return Err(usage());
+                }
+            }
             "--dump-region" => args.dump_region = true,
             "--compare" => args.compare = true,
             "--verify" => args.verify = true,
@@ -208,6 +238,72 @@ fn opt_for(hw: &str, regs: u32) -> Option<OptConfig> {
         "none" => OptConfig::no_alias_hw(),
         _ => return None,
     })
+}
+
+/// The `--guests N` path: N tenants of the same program over one shared
+/// translation hub, scheduled on `--threads M` host threads.
+fn run_multi_guests(program: smarq_guest::Program, cfg: SystemConfig, args: &Args) -> ExitCode {
+    let hub = TranslationHub::new(HubConfig::from_system(&cfg));
+    let guests: Vec<GuestContext> = (0..args.guests)
+        .map(|i| GuestContext::new(i, program.clone(), &hub))
+        .collect();
+    let t0 = std::time::Instant::now();
+    let guests = run_multi(&hub, guests, args.threads, args.budget, DEFAULT_SLICE_STEPS);
+    let wall = t0.elapsed().as_secs_f64();
+    hub.drain();
+    let hs = hub.stats();
+
+    let halted = guests.iter().filter(|g| g.halted()).count();
+    let instrs: u64 = guests.iter().map(|g| g.stats().guest_instrs()).sum();
+    let rollbacks: u64 = guests.iter().map(|g| g.stats().rollbacks).sum();
+    println!("hardware:            {}", args.hw);
+    println!(
+        "multi-guest:         {} guests on {} threads, {}/{} halted, {:.3}s wall",
+        args.guests, args.threads, halted, args.guests, wall
+    );
+    println!(
+        "guest instructions:  {} total ({:.2}M/s aggregate)",
+        instrs,
+        instrs as f64 / wall / 1.0e6
+    );
+    println!(
+        "shared hub:          {} translations, {} re-translations, {} cache hits, \
+         {} single-flight waits, {} rollbacks, {} abandoned",
+        hs.translations_started,
+        hs.retranslations,
+        hs.probe_hits,
+        hs.single_flight_hits,
+        rollbacks,
+        hs.abandoned
+    );
+    println!(
+        "publish ledger:      {} published + {} conflicts, {} keys live, epoch {}",
+        hs.translations_published, hs.publish_conflicts, hs.published_keys, hs.epoch
+    );
+
+    if args.compare {
+        if args.budget == u64::MAX {
+            let mut reference = smarq_guest::Interpreter::new();
+            reference.run(&program, u64::MAX);
+            let expected = reference.arch_state();
+            for g in &guests {
+                if g.interp().arch_state() != expected {
+                    eprintln!(
+                        "state check:         guest {} MISMATCH vs pure interpretation",
+                        g.id()
+                    );
+                    return ExitCode::from(1);
+                }
+            }
+            println!(
+                "state check:         all {} guests bit-exact vs pure interpretation",
+                args.guests
+            );
+        } else {
+            eprintln!("state check:         skipped (budgeted run)");
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -258,6 +354,10 @@ fn main() -> ExitCode {
     if let Some(q) = args.translate_queue {
         cfg.translate_queue_depth = q;
     }
+    if args.guests >= 2 {
+        return run_multi_guests(program, cfg, &args);
+    }
+
     let tier = cfg.exec_tier;
     let async_on = cfg.async_translate;
     let mut sys = DynOptSystem::new(program.clone(), cfg);

@@ -87,3 +87,32 @@ fn budgeted_runs_report_partial_progress() {
     assert!(sys.stats().guest_instrs() >= 2_000);
     assert!(sys.stats().total_cycles() > 0);
 }
+
+#[test]
+fn multi_guest_assembly_matches_interpreter() {
+    // The `smarq-run --guests N` path: parsed assembly (with a data
+    // image) as several tenants of one shared hub, every guest bit-exact.
+    use smarq_runtime::{run_multi, GuestContext, HubConfig, TranslationHub, DEFAULT_SLICE_STEPS};
+    let program = parse_program(KERNEL).unwrap();
+    let mut reference = smarq_guest::Interpreter::new();
+    reference.run(&program, u64::MAX);
+    let expected = reference.arch_state();
+
+    let mut hub_cfg = HubConfig::from_system(&SystemConfig::default());
+    hub_cfg.workers = 0;
+    let hub = TranslationHub::new(hub_cfg);
+    let guests: Vec<GuestContext> = (0..3)
+        .map(|i| GuestContext::new(i, program.clone(), &hub))
+        .collect();
+    let guests = run_multi(&hub, guests, 2, u64::MAX, DEFAULT_SLICE_STEPS);
+    for g in &guests {
+        assert!(g.halted());
+        assert_eq!(g.interp().arch_state(), expected, "guest {}", g.id());
+        assert_eq!(g.interp().fregs[4].to_bits(), 7, "data image visible");
+    }
+    assert_eq!(
+        hub.stats().translations_started,
+        1,
+        "one hot region, translated once for all guests"
+    );
+}
