@@ -500,6 +500,67 @@ pub fn measure_validator_regions() -> Measurement {
     })
 }
 
+/// Whole-chain static analyzer throughput at both granularities:
+///
+/// * `analyzer/region_ranged_check` — one range-aware region check
+///   ([`smarq_verify::check_trace_ranged`] with the region's superblock
+///   and analyzed entry state), the marginal cost verify-on-emit pays
+///   per emitted region (the whole-program dataflow is computed once per
+///   program and reused, so it stays outside the timed loop).
+/// * `analyzer/chain_fixpoint` — one full [`DynOptSystem::analyze_chain`]
+///   run: chain-graph fixpoint plus all five chain checks over every
+///   cached region of one system.
+///
+/// Workloads are the same seeded random batch the validator measurement
+/// uses, run under verify-on-emit so traces and assumed entry states are
+/// retained.
+pub fn measure_analyzer() -> (Measurement, Measurement) {
+    let machine = MachineConfig::default();
+    let opt_cfg = OptConfig::smarq(64);
+    let mut scratch = AllocScratch::new();
+    let mut systems: Vec<DynOptSystem> = Vec::new();
+    let mut regions: Vec<(smarq_ir::Superblock, OptTrace, smarq::range::RegState)> = Vec::new();
+    for seed in 0..8u64 {
+        let w = smarq_workloads::random_workload(seed);
+        let df = smarq_verify::analyze_reference(&w.program);
+        let mut cfg = SystemConfig::with_opt(opt_cfg.clone());
+        cfg.hot_threshold = 10;
+        cfg.verify_translations = true;
+        let mut sys = DynOptSystem::new(w.program, cfg);
+        sys.run_to_completion(2_000_000);
+        for sb in sys.formed_superblocks() {
+            let (_, trace) = optimize_superblock_traced(
+                sb,
+                &opt_cfg,
+                &machine,
+                &AliasBlacklist::new(),
+                &mut scratch,
+            );
+            if trace.allocation.is_some() {
+                regions.push((sb.clone(), trace, *df.entry_state(sb.entry)));
+            }
+        }
+        if sys.analyze_chain().is_some() {
+            systems.push(sys);
+        }
+    }
+    assert!(!regions.is_empty(), "random workloads must form regions");
+    assert!(!systems.is_empty(), "random workloads must form chains");
+    let mut i = 0usize;
+    let per_region = time_fn("analyzer/region_ranged_check", move || {
+        let (sb, trace, entry) = &regions[i % regions.len()];
+        i += 1;
+        smarq_verify::check_trace_ranged(0, trace, 64, Some((sb, entry))).len()
+    });
+    let mut j = 0usize;
+    let per_chain = time_fn("analyzer/chain_fixpoint", move || {
+        let sys = &systems[j % systems.len()];
+        j += 1;
+        sys.analyze_chain().map(|r| r.diagnostics.len())
+    });
+    (per_region, per_chain)
+}
+
 /// Wall-clock of the full 14x5 evaluation sweep, serial vs the scoped
 /// thread fan-out (single shot each — the sweep is seconds, not micros).
 pub struct SweepTiming {

@@ -125,6 +125,40 @@ impl DepGraph {
             }
         }
 
+        // NOSPEC-DEPENDENCE: an unspeculatable op keeps program order
+        // against every other live memory op (at least one of the pair a
+        // store), even when the pair is provably disjoint — speculation
+        // across the configured address ranges is never scheduled. These
+        // candidate pairs are enumerated separately because disjoint
+        // cross-class pairs never appear in the bucket/override scans;
+        // duplicates of plain edges are folded by `index`. The edges are
+        // deliberately exempt from the drop-deps fault injection.
+        for &i in sealed.nospec_ops() {
+            let x = MemOpId::new(i as usize);
+            if !live(x) {
+                continue;
+            }
+            for j in 0..n as u32 {
+                if j == i {
+                    continue;
+                }
+                let y = MemOpId::new(j as usize);
+                if !live(y) {
+                    continue;
+                }
+                let (kx, ky) = (region.op(x).kind, region.op(y).kind);
+                if !(kx.is_store() || ky.is_store()) {
+                    continue;
+                }
+                let (src, dst) = if i < j { (x, y) } else { (y, x) };
+                deps.push(Dep {
+                    src,
+                    dst,
+                    kind: DepKind::Plain,
+                });
+            }
+        }
+
         // EXTENDED-DEPENDENCE 1: load Z eliminated, forwarded from X.
         // For every *store* Y strictly between X and Z (original order) that
         // may alias X: add Y ->dep X.
@@ -178,7 +212,8 @@ impl DepGraph {
         let mut deps = Vec::new();
         let live = |id: MemOpId| !region.is_eliminated(id);
 
-        // DEPENDENCE: forward, program order, may-alias, at least one store.
+        // DEPENDENCE: forward, program order, may-alias (or either op
+        // unspeculatable — NOSPEC-DEPENDENCE), at least one store.
         for i in 0..n {
             let x = MemOpId::new(i);
             if !live(x) {
@@ -190,7 +225,8 @@ impl DepGraph {
                     continue;
                 }
                 let (kx, ky) = (region.op(x).kind, region.op(y).kind);
-                if (kx.is_store() || ky.is_store()) && region.may_alias(x, y) {
+                let ordered = region.may_alias(x, y) || region.is_nospec(x) || region.is_nospec(y);
+                if (kx.is_store() || ky.is_store()) && ordered {
                     deps.push(Dep {
                         src: x,
                         dst: y,
@@ -339,6 +375,49 @@ mod tests {
         let deps = DepGraph::compute(&r);
         assert!(!deps.has_dep(a, b));
         assert!(deps.is_empty());
+    }
+
+    #[test]
+    fn nospec_ops_depend_despite_disjoint_aliasing() {
+        // st A, ld B with A/B provably disjoint: normally no dependence,
+        // but marking either op unspeculatable forces one. Both compute
+        // paths must agree (the sealed path enumerates nospec pairs
+        // separately from the bucket/override scans).
+        let mut r = RegionSpec::new();
+        let s = r.push(MemKind::Store, 0);
+        let l = r.push(MemKind::Load, 1);
+        assert!(DepGraph::compute(&r).is_empty());
+        r.set_nospec(l);
+        let fast = DepGraph::compute(&r);
+        let naive = DepGraph::compute_naive(&r);
+        assert!(fast.has_dep(s, l));
+        assert!(naive.has_dep(s, l));
+        assert_eq!(fast.len(), 1);
+        assert_eq!(naive.len(), 1);
+        // Load-load pairs still never depend, nospec or not.
+        let mut r2 = RegionSpec::new();
+        let a = r2.push(MemKind::Load, 0);
+        let b = r2.push(MemKind::Load, 1);
+        r2.set_nospec(a);
+        r2.set_nospec(b);
+        assert!(DepGraph::compute(&r2).is_empty());
+        assert!(DepGraph::compute_naive(&r2).is_empty());
+        // Eliminated nospec ops take no part.
+        let mut r3 = RegionSpec::new();
+        let src = r3.push(MemKind::Store, 0);
+        let z = r3.push(MemKind::Load, 0);
+        let other = r3.push(MemKind::Load, 1);
+        r3.set_nospec(z);
+        r3.add_load_elim(src, z);
+        let d3 = DepGraph::compute(&r3);
+        assert!(!d3.has_dep(src, z) && !d3.has_dep(z, other));
+        assert_eq!(
+            DepGraph::compute_naive(&r3)
+                .iter()
+                .collect::<Vec<_>>()
+                .len(),
+            d3.len()
+        );
     }
 
     /// Paper Figure 5: M1 ld [r1], M2 ld [r0+4], M3 st [r0], M4 st [r1],

@@ -74,3 +74,57 @@ pub fn drop_anti_enabled() -> bool {
             std::env::var_os("SMARQ_FAULT_DROP_ANTI").is_some_and(|v| !v.is_empty())
         })
 }
+
+static BOUNDARY_FORCED: AtomicBool = AtomicBool::new(false);
+static BOUNDARY_FROM_ENV: OnceLock<bool> = OnceLock::new();
+
+/// Enables (or disables) the chain-boundary fault: the derivation of a
+/// region's resident-state write mask (`RegionWriteMask::of`) silently
+/// drops one written integer register, as if the implementation had
+/// forgotten to account for an op kind. Chained successors then rely on a
+/// mask that under-covers the predecessor's writes — a broken
+/// chain-boundary obligation. The bug is *invisible to execution oracles*
+/// on rollback-free runs (the mask only scopes checkpoints and scoreboard
+/// clearing), which is exactly why the static chain analyzer must catch
+/// it. Process-wide; tests belong in their own integration-test binary.
+pub fn set_drop_boundary(on: bool) {
+    BOUNDARY_FORCED.store(on, Ordering::SeqCst);
+}
+
+/// `true` when the chain-boundary fault is active, either via
+/// [`set_drop_boundary`] or the `SMARQ_FAULT_DROP_BOUNDARY` environment
+/// variable (checked once, non-empty value enables).
+pub fn drop_boundary_enabled() -> bool {
+    BOUNDARY_FORCED.load(Ordering::SeqCst)
+        || *BOUNDARY_FROM_ENV.get_or_init(|| {
+            std::env::var_os("SMARQ_FAULT_DROP_BOUNDARY").is_some_and(|v| !v.is_empty())
+        })
+}
+
+static WIDEN_FORCED: AtomicBool = AtomicBool::new(false);
+static WIDEN_FROM_ENV: OnceLock<bool> = OnceLock::new();
+
+/// Enables (or disables) the broken-widening fault: the dataflow
+/// analyzer's fixpoint loop (`smarq_verify::dataflow`) skips widening at
+/// loop heads and pretends the state converged, leaving derived value
+/// ranges unsoundly narrow. Decisions made from those ranges — most
+/// importantly the *unspeculatable address range* taint — then miss
+/// addresses that later loop iterations actually reach, so the optimizer
+/// speculates across a range it was told never to. Speculating on plain
+/// memory is functionally correct, so execution oracles cannot see the
+/// bug; only the chain analyzer's reference (never-faulted) range
+/// computation flags it. Process-wide; tests belong in their own
+/// integration-test binary.
+pub fn set_widen_range(on: bool) {
+    WIDEN_FORCED.store(on, Ordering::SeqCst);
+}
+
+/// `true` when the broken-widening fault is active, either via
+/// [`set_widen_range`] or the `SMARQ_FAULT_WIDEN_RANGE` environment
+/// variable (checked once, non-empty value enables).
+pub fn widen_range_enabled() -> bool {
+    WIDEN_FORCED.load(Ordering::SeqCst)
+        || *WIDEN_FROM_ENV.get_or_init(|| {
+            std::env::var_os("SMARQ_FAULT_WIDEN_RANGE").is_some_and(|v| !v.is_empty())
+        })
+}

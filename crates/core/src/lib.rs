@@ -73,6 +73,7 @@ pub mod ids;
 pub mod lower_bound;
 pub mod prng;
 pub mod queue;
+pub mod range;
 pub mod region;
 pub mod validate;
 
@@ -85,4 +86,5 @@ pub use deps::{Dep, DepGraph, DepKind};
 pub use error::{diagnostics_to_json, AllocError, Diagnostic, Severity, ValidationError};
 pub use ids::{MemOpId, Offset, Order};
 pub use lower_bound::live_range_lower_bound;
+pub use range::{Interval, NospecRanges, RegState};
 pub use region::{LoadElim, MemKind, MemOp, RegionSpec, SealedRegion, StoreElim};

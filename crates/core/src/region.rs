@@ -107,6 +107,10 @@ pub struct RegionSpec {
     overrides: std::collections::HashMap<(u32, u32), bool>,
     load_elims: Vec<LoadElim>,
     store_elims: Vec<StoreElim>,
+    /// Ops whose address may fall in an *unspeculatable* range (see
+    /// [`crate::range::NospecRanges`]): they must keep program order
+    /// against every other memory op, regardless of the alias relation.
+    nospec: std::collections::HashSet<u32>,
 }
 
 impl RegionSpec {
@@ -221,6 +225,26 @@ impl RegionSpec {
         });
     }
 
+    /// Marks `id` as *unspeculatable*: its address may fall inside a
+    /// configured [`crate::range::NospecRanges`] range, so the dependence
+    /// rules order it against every other memory operation (at least one
+    /// of the pair a store) even when the alias analysis proves the pair
+    /// disjoint — speculation across the range is never scheduled.
+    pub fn set_nospec(&mut self, id: MemOpId) {
+        assert!(id.index() < self.ops.len(), "nospec op out of range");
+        self.nospec.insert(id.0);
+    }
+
+    /// `true` when `id` was marked unspeculatable.
+    pub fn is_nospec(&self, id: MemOpId) -> bool {
+        self.nospec.contains(&id.0)
+    }
+
+    /// `true` when any op is marked unspeculatable.
+    pub fn has_nospec(&self) -> bool {
+        !self.nospec.is_empty()
+    }
+
     /// The recorded load eliminations.
     pub fn load_elims(&self) -> &[LoadElim] {
         &self.load_elims
@@ -277,6 +301,8 @@ pub struct SealedRegion<'a> {
     buckets: Vec<Vec<u32>>,
     /// Explicit overrides as sorted `(lo, hi, may)` triples.
     overrides: Vec<(u32, u32, bool)>,
+    /// Unspeculatable op indices, sorted ascending.
+    nospec: Vec<u32>,
 }
 
 impl<'a> SealedRegion<'a> {
@@ -334,6 +360,9 @@ impl<'a> SealedRegion<'a> {
             eliminated[i >> 6] |= 1u64 << (i & 63);
         }
 
+        let mut nospec: Vec<u32> = spec.nospec.iter().copied().collect();
+        nospec.sort_unstable();
+
         SealedRegion {
             spec,
             n,
@@ -341,6 +370,7 @@ impl<'a> SealedRegion<'a> {
             eliminated,
             buckets,
             overrides,
+            nospec,
         }
     }
 
@@ -398,6 +428,12 @@ impl<'a> SealedRegion<'a> {
     /// with `lo < hi`.
     pub fn overrides(&self) -> &[(u32, u32, bool)] {
         &self.overrides
+    }
+
+    /// Unspeculatable op indices, sorted ascending (see
+    /// [`RegionSpec::set_nospec`]).
+    pub fn nospec_ops(&self) -> &[u32] {
+        &self.nospec
     }
 }
 

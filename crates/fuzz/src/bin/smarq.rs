@@ -3,22 +3,29 @@
 //! ```text
 //! smarq fuzz   [--seed N] [--cases N] [--budget-secs S] [--corpus-dir DIR]
 //!              [--max-repros N] [--multiguest G]
-//!              [--inject-fault drop-plain-deps|drop-anti]
+//!              [--inject-fault drop-plain-deps|drop-anti|drop-boundary|widen-range]
 //!              [--expect-divergence]
 //! smarq replay PATH...        # corpus files or directories
-//! smarq lint   PATH... [--json FILE]   # static verification + lint passes
+//! smarq lint   PATH... [--json FILE] [--nospec LO..HI[,..]]
+//!              [--deny CODE] [--allow CODE]   # static verification + lints
+//! smarq lint --list           # print the stable diagnostic code table
 //! smarq snippet FILE          # print a paste-ready Rust regression test
 //! ```
 //!
 //! `fuzz` exits non-zero when a divergence was found (or, with
 //! `--expect-divergence`, when none was — the mutation sanity mode).
 //! Minimized repros are written to `--corpus-dir` (default
-//! `tests/corpus`). `lint` exits non-zero on any error-severity finding;
-//! `--json` additionally writes the structured report for CI artifacts.
+//! `tests/corpus`). `lint` exits non-zero on any error-severity finding
+//! *after* the `--deny`/`--allow` policy is applied; `--json`
+//! additionally writes the structured report for CI artifacts, and
+//! `--nospec` forbids speculation across the given half-open address
+//! ranges (the chain analyzer proves none was scheduled).
 
 use smarq_fuzz::{
-    check_program, lint_paths, load_dir, run_campaign, CampaignParams, OracleParams, Repro,
+    check_program, lint_paths_with, load_dir, run_campaign, CampaignParams, LintConfig,
+    OracleParams, Repro,
 };
+use smarq_verify::{LintPolicy, CODES, CODE_TABLE_VERSION};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -27,10 +34,12 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: smarq fuzz [--seed N] [--cases N] [--budget-secs S] [--corpus-dir DIR]\n\
          \x20                 [--max-repros N] [--multiguest G]\n\
-         \x20                 [--inject-fault drop-plain-deps|drop-anti]\n\
+         \x20                 [--inject-fault drop-plain-deps|drop-anti|drop-boundary|widen-range]\n\
          \x20                 [--expect-divergence]\n\
          \x20      smarq replay PATH...\n\
-         \x20      smarq lint PATH... [--json FILE]\n\
+         \x20      smarq lint PATH... [--json FILE] [--nospec LO..HI[,..]]\n\
+         \x20                 [--deny CODE] [--allow CODE]\n\
+         \x20      smarq lint --list\n\
          \x20      smarq snippet FILE"
     );
     ExitCode::from(2)
@@ -96,7 +105,14 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
             "--inject-fault" => match value.map(String::as_str) {
                 Some("drop-plain-deps") => smarq::fault::set_drop_plain_deps(true),
                 Some("drop-anti") => smarq::fault::set_drop_anti(true),
-                _ => return fail("--inject-fault supports: drop-plain-deps, drop-anti"),
+                Some("drop-boundary") => smarq::fault::set_drop_boundary(true),
+                Some("widen-range") => smarq::fault::set_widen_range(true),
+                _ => {
+                    return fail(
+                        "--inject-fault supports: drop-plain-deps, drop-anti, \
+                         drop-boundary, widen-range",
+                    )
+                }
             },
             "--expect-divergence" => {
                 expect_divergence = true;
@@ -193,9 +209,30 @@ fn cmd_replay(args: &[String]) -> ExitCode {
     }
 }
 
+/// Prints the stable diagnostic code table (`smarq lint --list`).
+fn list_codes() -> ExitCode {
+    println!("code table version {CODE_TABLE_VERSION}");
+    for info in CODES {
+        println!(
+            "{:<24} {:<9} {:<7} {}",
+            info.code,
+            info.origin.label(),
+            format!("{:?}", info.default_severity).to_lowercase(),
+            info.description
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_lint(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--list") {
+        return list_codes();
+    }
     let mut paths: Vec<&str> = Vec::new();
     let mut json_out: Option<PathBuf> = None;
+    let mut nospec = smarq::range::NospecRanges::none();
+    let mut deny: Vec<String> = Vec::new();
+    let mut allow: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -205,6 +242,30 @@ fn cmd_lint(args: &[String]) -> ExitCode {
                     i += 2;
                 }
                 None => return fail("--json needs a value"),
+            },
+            "--nospec" => match args.get(i + 1) {
+                Some(v) => match smarq::range::NospecRanges::parse(v) {
+                    Ok(r) => {
+                        nospec = r;
+                        i += 2;
+                    }
+                    Err(e) => return fail(&format!("--nospec: {e}")),
+                },
+                None => return fail("--nospec needs a value"),
+            },
+            "--deny" => match args.get(i + 1) {
+                Some(v) => {
+                    deny.push(v.clone());
+                    i += 2;
+                }
+                None => return fail("--deny needs a value"),
+            },
+            "--allow" => match args.get(i + 1) {
+                Some(v) => {
+                    allow.push(v.clone());
+                    i += 2;
+                }
+                None => return fail("--allow needs a value"),
             },
             flag if flag.starts_with("--") => return fail(&format!("unknown flag {flag}")),
             p => {
@@ -216,8 +277,13 @@ fn cmd_lint(args: &[String]) -> ExitCode {
     if paths.is_empty() {
         return usage();
     }
+    let policy = match LintPolicy::new(deny, allow) {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
+    let config = LintConfig { nospec, policy };
     let path_refs: Vec<&Path> = paths.iter().map(Path::new).collect();
-    let outcome = match lint_paths(&path_refs, |line| println!("[lint] {line}")) {
+    let outcome = match lint_paths_with(&path_refs, &config, |line| println!("[lint] {line}")) {
         Ok(o) => o,
         Err(e) => return fail(&e),
     };

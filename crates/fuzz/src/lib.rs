@@ -28,7 +28,10 @@ pub mod oracle;
 pub use corpus::{load_dir, Repro};
 pub use driver::{run_campaign, CampaignOutcome, CampaignParams};
 pub use gen::{generate, FuzzParams};
-pub use lint::{lint_entries, lint_paths, lint_program, Finding, LintOutcome};
+pub use lint::{
+    lint_entries, lint_entries_with, lint_paths, lint_paths_with, lint_program, lint_program_with,
+    Finding, LintConfig, LintOutcome,
+};
 pub use minimize::{minimize, Minimized};
 pub use oracle::{
     check_multi_guest, check_program, schemes, Divergence, MultiGuestReport, OracleParams,

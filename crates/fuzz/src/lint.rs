@@ -10,12 +10,24 @@
 //! whole report serializes to JSON for the CI artifact.
 
 use crate::oracle::schemes;
+use smarq::range::NospecRanges;
 use smarq::{AllocScratch, Diagnostic, Severity};
 use smarq_guest::Program;
-use smarq_opt::optimize_superblock_traced;
+use smarq_opt::optimize_superblock_traced_ranged;
 use smarq_runtime::{DynOptSystem, SystemConfig};
-use smarq_verify::check_trace;
+use smarq_verify::{check_trace_ranged, LintPolicy};
 use std::path::{Path, PathBuf};
+
+/// Knobs for a lint run: unspeculatable address ranges threaded into the
+/// optimizer (and checked by the chain analyzer), plus a severity policy
+/// (`--deny` / `--allow`) applied to every finding before counting.
+#[derive(Clone, Debug, Default)]
+pub struct LintConfig {
+    /// Address ranges speculation must never touch; empty = none.
+    pub nospec: NospecRanges,
+    /// Post-hoc severity overrides keyed by stable diagnostic code.
+    pub policy: LintPolicy,
+}
 
 /// One finding, located by corpus entry and hardware scheme.
 #[derive(Clone, Debug)]
@@ -60,25 +72,67 @@ const FORMATION_BUDGET: u64 = 2_000_000;
 /// Lints every region `program` forms under every hardware scheme,
 /// appending findings to `out`. Returns the number of regions examined.
 pub fn lint_program(entry: &str, program: &Program, out: &mut Vec<Finding>) -> usize {
+    lint_program_with(entry, program, &LintConfig::default(), out)
+}
+
+/// [`lint_program`] with explicit [`LintConfig`]: regions are formed and
+/// re-optimized under `config.nospec`, per-region findings are joined by
+/// whole-chain analysis over the cached region graph, and
+/// `config.policy` rewrites severities before anything is counted.
+pub fn lint_program_with(
+    entry: &str,
+    program: &Program,
+    config: &LintConfig,
+    out: &mut Vec<Finding>,
+) -> usize {
     let mut regions = 0;
     let mut scratch = AllocScratch::new();
+    // Whole-program dataflow once; each region is checked under its
+    // proven entry state instead of the all-unknown default.
+    let dataflow = smarq_verify::analyze_reference(program);
     for (label, opt) in schemes() {
         let mut cfg = SystemConfig::with_opt(opt.clone());
         // Match the replay oracle's formation knobs so lint sees the same
         // regions the fuzzer checked dynamically.
         cfg.hot_threshold = 10;
+        cfg.nospec_ranges = config.nospec.clone();
+        // Verify-on-emit retains traces, enabling `analyze_chain` below.
+        cfg.verify_translations = true;
         let mut sys = DynOptSystem::new(program.clone(), cfg.clone());
         sys.run_to_completion(FORMATION_BUDGET);
+        let mut opt_eff = opt.clone();
+        opt_eff.nospec = config.nospec.clone();
+        let mut push = |diagnostic: Diagnostic| {
+            let mut diagnostic = diagnostic;
+            config.policy.apply(&mut diagnostic);
+            out.push(Finding {
+                entry: entry.to_string(),
+                scheme: label,
+                diagnostic,
+            });
+        };
         for (region, sb) in sys.formed_superblocks().enumerate() {
-            let (_, trace) =
-                optimize_superblock_traced(sb, &opt, &cfg.machine, sys.blacklist(), &mut scratch);
+            let entry_state = *dataflow.entry_state(sb.entry);
+            let (_, trace) = optimize_superblock_traced_ranged(
+                sb,
+                &opt_eff,
+                &cfg.machine,
+                sys.blacklist(),
+                &mut scratch,
+                Some(&entry_state),
+            );
             regions += 1;
-            for diagnostic in check_trace(region, &trace, opt.num_alias_regs) {
-                out.push(Finding {
-                    entry: entry.to_string(),
-                    scheme: label,
-                    diagnostic,
-                });
+            for diagnostic in
+                check_trace_ranged(region, &trace, opt.num_alias_regs, Some((sb, &entry_state)))
+            {
+                push(diagnostic);
+            }
+        }
+        // Cross-region layer: chain-boundary obligations, nospec
+        // speculation, dead cross-region AMOVs, unreachable checks.
+        if let Some(report) = sys.analyze_chain() {
+            for diagnostic in report.diagnostics {
+                push(diagnostic);
             }
         }
     }
@@ -87,12 +141,21 @@ pub fn lint_program(entry: &str, program: &Program, out: &mut Vec<Finding>) -> u
 
 /// Lints a list of `(path, program)` corpus entries, logging one line per
 /// entry through `log`.
-pub fn lint_entries(entries: &[(PathBuf, Program)], mut log: impl FnMut(&str)) -> LintOutcome {
+pub fn lint_entries(entries: &[(PathBuf, Program)], log: impl FnMut(&str)) -> LintOutcome {
+    lint_entries_with(entries, &LintConfig::default(), log)
+}
+
+/// [`lint_entries`] under an explicit [`LintConfig`].
+pub fn lint_entries_with(
+    entries: &[(PathBuf, Program)],
+    config: &LintConfig,
+    mut log: impl FnMut(&str),
+) -> LintOutcome {
     let mut outcome = LintOutcome::default();
     for (path, program) in entries {
         let entry = path.display().to_string();
         let before = outcome.findings.len();
-        outcome.regions += lint_program(&entry, program, &mut outcome.findings);
+        outcome.regions += lint_program_with(&entry, program, config, &mut outcome.findings);
         outcome.entries += 1;
         let new = &outcome.findings[before..];
         let errors = count(new, Severity::Error);
@@ -126,9 +189,14 @@ fn count(findings: &[Finding], severity: Severity) -> usize {
 /// workspace) for the CI `lint-corpus` artifact.
 pub fn to_json(outcome: &LintOutcome) -> String {
     let mut out = format!(
-        "{{\n  \"schema\": \"smarq-lint/1\",\n  \"entries\": {},\n  \"regions\": {},\n  \
+        "{{\n  \"schema\": \"smarq-lint/1\",\n  \"code_table_version\": {},\n  \
+         \"entries\": {},\n  \"regions\": {},\n  \
          \"errors\": {},\n  \"warnings\": {},\n  \"findings\": [",
-        outcome.entries, outcome.regions, outcome.errors, outcome.warnings
+        smarq_verify::CODE_TABLE_VERSION,
+        outcome.entries,
+        outcome.regions,
+        outcome.errors,
+        outcome.warnings
     );
     for (i, f) in outcome.findings.iter().enumerate() {
         out.push_str(&format!(
@@ -153,6 +221,18 @@ pub fn to_json(outcome: &LintOutcome) -> String {
 /// # Errors
 /// Propagates I/O and parse errors as strings.
 pub fn lint_paths(paths: &[&Path], log: impl FnMut(&str)) -> Result<LintOutcome, String> {
+    lint_paths_with(paths, &LintConfig::default(), log)
+}
+
+/// [`lint_paths`] under an explicit [`LintConfig`].
+///
+/// # Errors
+/// Propagates I/O and parse errors as strings.
+pub fn lint_paths_with(
+    paths: &[&Path],
+    config: &LintConfig,
+    log: impl FnMut(&str),
+) -> Result<LintOutcome, String> {
     let mut entries = Vec::new();
     for path in paths {
         if path.is_dir() {
@@ -168,7 +248,7 @@ pub fn lint_paths(paths: &[&Path], log: impl FnMut(&str)) -> Result<LintOutcome,
     if entries.is_empty() {
         return Err("no corpus entries found".to_string());
     }
-    Ok(lint_entries(&entries, log))
+    Ok(lint_entries_with(&entries, config, log))
 }
 
 #[cfg(test)]
@@ -193,6 +273,30 @@ mod tests {
     }
 
     #[test]
+    fn nospec_lint_stays_clean_when_nothing_can_speculate() {
+        // A nospec range covering the whole positive address space pins
+        // every access: no speculation is scheduled, so neither the
+        // per-region passes nor the chain analyzer may report an error —
+        // and in particular no `nospec-speculation`.
+        let p = generate(1, &FuzzParams::default());
+        let config = LintConfig {
+            nospec: NospecRanges::parse("0x0..0x7fffffffffffffff").unwrap(),
+            policy: LintPolicy::default(),
+        };
+        let mut findings = Vec::new();
+        let regions = lint_program_with("gen-1", &p, &config, &mut findings);
+        assert!(regions > 0, "no regions formed");
+        let bad: Vec<_> = findings
+            .iter()
+            .filter(|f| {
+                f.diagnostic.severity == Severity::Error
+                    || f.diagnostic.code == "nospec-speculation"
+            })
+            .collect();
+        assert!(bad.is_empty(), "nospec lint found: {bad:?}");
+    }
+
+    #[test]
     fn json_report_shape() {
         let outcome = LintOutcome {
             entries: 1,
@@ -207,6 +311,13 @@ mod tests {
         };
         let j = to_json(&outcome);
         assert!(j.contains("\"schema\": \"smarq-lint/1\""), "{j}");
+        assert!(
+            j.contains(&format!(
+                "\"code_table_version\": {}",
+                smarq_verify::CODE_TABLE_VERSION
+            )),
+            "{j}"
+        );
         assert!(j.contains("\"entries\": 1"), "{j}");
         assert!(j.contains("\"scheme\": \"smarq8\""), "{j}");
         assert!(j.contains("\"code\": \"overflow-risk\""), "{j}");

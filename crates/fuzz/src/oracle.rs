@@ -1,6 +1,6 @@
 //! Layered differential oracles.
 //!
-//! One fuzz case is checked at three layers, cheapest evidence last:
+//! One fuzz case is checked at five layers, cheapest evidence last:
 //!
 //! 1. **End-to-end** — a pure [`Interpreter`] run is the reference; the
 //!    full [`DynOptSystem`] must reproduce the architectural state
@@ -30,6 +30,15 @@
 //!    [`AliasQueue::check_first`] vs the full-scan
 //!    [`AliasQueue::check`] at every C-bit instruction of the allocated
 //!    code.
+//! 5. **Whole-chain analysis** — the main run executes under
+//!    verify-on-emit, so every memoized region→region link is
+//!    chain-checked at resolution time, and afterwards
+//!    [`DynOptSystem::analyze_chain`] re-proves the entire cached region
+//!    graph at its cross-region fixpoint (write-mask coverage, entry-state
+//!    obligations, nospec speculation). This is the only layer that sees
+//!    *between* regions, so faults confined to region boundaries
+//!    (`SMARQ_FAULT_DROP_BOUNDARY`, `SMARQ_FAULT_WIDEN_RANGE`) are caught
+//!    here and nowhere else.
 //!
 //! The layering is the point: a consistent-but-wrong analysis slips past
 //! the validator — which is fed the same wrong dependences — but cannot
@@ -177,6 +186,16 @@ pub enum Divergence {
         /// What diverged between shared-hub and solo execution.
         detail: String,
     },
+    /// Layer 5: the whole-chain analyzer rejected the cached region graph
+    /// — a diverged fixpoint, a chain-boundary obligation violation, or
+    /// speculation into an unspeculatable address range.
+    ChainVerify {
+        /// Scheme label.
+        scheme: &'static str,
+        /// The first chain-level error diagnostic, JSON-serialized (or a
+        /// convergence-failure note).
+        detail: String,
+    },
     /// Layer 4: `check_first` disagrees with the full-scan `check`.
     QueueMismatch {
         /// Scheme label.
@@ -201,6 +220,7 @@ impl Divergence {
             Divergence::StaticVerify { .. } => "static-verify",
             Divergence::DepGraphMismatch { .. } => "depgraph-mismatch",
             Divergence::MultiGuestMismatch { .. } => "multiguest-mismatch",
+            Divergence::ChainVerify { .. } => "chain-verify",
             Divergence::QueueMismatch { .. } => "queue-mismatch",
         }
     }
@@ -262,6 +282,9 @@ impl std::fmt::Display for Divergence {
                 f,
                 "multiguest-mismatch under {scheme} (seed {seed:#x}): {detail}"
             ),
+            Divergence::ChainVerify { scheme, detail } => {
+                write!(f, "chain-verify under {scheme}: {detail}")
+            }
             Divergence::QueueMismatch {
                 scheme,
                 region,
@@ -290,6 +313,8 @@ pub struct OracleReport {
     pub allocations_validated: usize,
     /// Regions proven by the independent static verifier.
     pub regions_verified: usize,
+    /// Regions covered by a converged whole-chain analysis (layer 5).
+    pub chain_regions: usize,
 }
 
 fn arch_diff(expected: &ArchState, got: &ArchState) -> String {
@@ -331,6 +356,10 @@ pub fn check_program(program: &Program, params: &OracleParams) -> Result<OracleR
         let mut cfg = SystemConfig::with_opt(opt.clone());
         cfg.hot_threshold = params.hot_threshold;
         cfg.unroll_factor = params.unroll_factor;
+        // Verify-on-emit for the main run: regions keep their traces, so
+        // link resolutions are chain-checked live and layer 5 can re-prove
+        // the whole region graph afterwards.
+        cfg.verify_translations = true;
         let mut sys = DynOptSystem::new(program.clone(), cfg.clone());
         sys.run_to_completion(u64::MAX);
         report.schemes += 1;
@@ -507,6 +536,48 @@ pub fn check_program(program: &Program, params: &OracleParams) -> Result<OracleR
             }
             report.regions_verified += 1;
             report.regions_checked += 1;
+        }
+
+        // Layer 5: whole-chain analysis over the regions exactly as the
+        // system cached them (entry assumptions, write masks, links). The
+        // link-time incremental checks already ran during execution; here
+        // the full cross-region fixpoint is re-proven in one pass.
+        if sys.stats().chain_errors != 0 {
+            // `verify_diagnostics` mixes emission and chain findings; pick
+            // the first one carrying a chain-layer code.
+            let detail = sys
+                .stats()
+                .verify_diagnostics
+                .iter()
+                .find(|j| j.contains("\"chain-") || j.contains("\"nospec-speculation\""))
+                .cloned()
+                .unwrap_or_else(|| "link-time chain check failed".to_string());
+            return Err(Divergence::ChainVerify {
+                scheme: label,
+                detail,
+            });
+        }
+        if let Some(chain) = sys.analyze_chain() {
+            if !chain.converged {
+                return Err(Divergence::ChainVerify {
+                    scheme: label,
+                    detail: format!(
+                        "chain fixpoint did not converge after {} iterations",
+                        chain.iterations
+                    ),
+                });
+            }
+            if let Some(d) = chain
+                .diagnostics
+                .iter()
+                .find(|d| d.severity == smarq::Severity::Error)
+            {
+                return Err(Divergence::ChainVerify {
+                    scheme: label,
+                    detail: d.to_json(),
+                });
+            }
+            report.chain_regions += chain.regions;
         }
     }
     Ok(report)
@@ -747,6 +818,10 @@ mod tests {
         assert!(
             report.regions_verified > 0,
             "no regions statically verified"
+        );
+        assert!(
+            report.chain_regions > 0,
+            "no regions covered by whole-chain analysis"
         );
     }
 

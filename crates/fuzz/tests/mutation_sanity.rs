@@ -14,6 +14,12 @@
 //! tests below prove the **static validator alone** (`crates/verify`, no
 //! execution of any kind) flags both injected faults.
 //!
+//! Two further faults target the *chain* layer: `set_drop_boundary`
+//! (the region write mask forgets a written register) and
+//! `set_widen_range` (the runtime's dataflow keeps unsoundly narrow
+//! entry ranges). Both are invisible to execution oracles *and* to the
+//! per-region validator — the whole-chain analyzer alone must flag them.
+//!
 //! The fault switches are process-wide, which is why this lives in its
 //! own integration-test binary: cargo gives it a dedicated process, so
 //! enabling a fault cannot race with unrelated tests. Within the binary,
@@ -21,6 +27,8 @@
 
 use smarq::{allocate, DepGraph, MemKind, MemOpId, RegionSpec};
 use smarq_fuzz::{check_program, run_campaign, CampaignParams, OracleParams};
+use smarq_guest::{AluOp, CmpOp, Program, ProgramBuilder, Reg};
+use smarq_runtime::{DynOptSystem, StopReason, SystemConfig};
 use std::sync::Mutex;
 
 /// Serializes every test that flips a process-wide fault switch.
@@ -138,6 +146,167 @@ fn static_validator_catches_dropped_plain_deps() {
     let alloc = allocate(&r, &deps, &sched, 64).unwrap();
     let diags = smarq_verify::verify_region(0, &r, &sched, &alloc);
     assert!(smarq_verify::is_clean(&diags), "got: {diags:?}");
+}
+
+/// Rollback-free counted loop: the store (0x2000) and the load (0x1000)
+/// never truly alias, so the hoisted load's protection never fires — the
+/// write mask is only ever *saved*, never *restored*, and the dropped
+/// bit is invisible to every execution oracle.
+fn hoistable_loop(iters: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let entry = b.block();
+    let body = b.block();
+    let done = b.block();
+    b.iconst(entry, Reg(1), 0);
+    b.iconst(entry, Reg(2), iters);
+    b.iconst(entry, Reg(3), 0x1000);
+    b.iconst(entry, Reg(5), 0x2000);
+    b.jump(entry, body);
+    b.st(body, Reg(1), Reg(5), 0);
+    b.ld(body, Reg(4), Reg(3), 0);
+    b.alu(body, AluOp::Add, Reg(4), Reg(4), Reg(1));
+    b.st(body, Reg(4), Reg(3), 0);
+    b.alu_imm(body, AluOp::Add, Reg(1), Reg(1), 1);
+    b.branch(body, CmpOp::Lt, Reg(1), Reg(2), body, done);
+    b.halt(done);
+    b.finish(entry)
+}
+
+/// Loop whose store pointer strides by 8 every iteration: the whole-
+/// program dataflow must widen the pointer's interval at the loop head,
+/// which is exactly the step `SMARQ_FAULT_WIDEN_RANGE` sabotages.
+fn striding_loop(iters: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let entry = b.block();
+    let body = b.block();
+    let done = b.block();
+    b.iconst(entry, Reg(1), 0);
+    b.iconst(entry, Reg(2), iters);
+    b.iconst(entry, Reg(3), 0x1000);
+    b.iconst(entry, Reg(5), 0x8000);
+    b.jump(entry, body);
+    b.st(body, Reg(1), Reg(3), 0);
+    b.ld(body, Reg(4), Reg(5), 0);
+    b.alu_imm(body, AluOp::Add, Reg(3), Reg(3), 8);
+    b.alu_imm(body, AluOp::Add, Reg(1), Reg(1), 1);
+    b.branch(body, CmpOp::Lt, Reg(1), Reg(2), body, done);
+    b.halt(done);
+    b.finish(entry)
+}
+
+fn verify_cfg() -> SystemConfig {
+    let mut cfg = SystemConfig {
+        hot_threshold: 10,
+        ..SystemConfig::default()
+    };
+    cfg.verify_translations = true;
+    cfg
+}
+
+fn run_verified(p: &Program) -> DynOptSystem {
+    let mut sys = DynOptSystem::new(p.clone(), verify_cfg());
+    assert_eq!(sys.run_to_completion(u64::MAX), StopReason::Halted);
+    sys
+}
+
+/// `SMARQ_FAULT_DROP_BOUNDARY` makes [`smarq_vliw::RegionWriteMask::of`]
+/// forget one written integer register — a broken chain-boundary
+/// obligation (a chained rollback would restore stale state). On a
+/// rollback-free program no execution path ever consults the mask, and
+/// the per-region validator never sees it (the mask is a runtime
+/// artifact, not region code): the **chain analyzer alone** flags it.
+#[test]
+fn chain_analyzer_alone_catches_dropped_write_mask_bit() {
+    let _guard = fault_lock();
+    let p = hoistable_loop(200);
+
+    smarq::fault::set_drop_boundary(true);
+    let sys = run_verified(&p);
+    smarq::fault::set_drop_boundary(false);
+
+    // Invisible to execution: bit-exact vs pure interpretation, and the
+    // mask was never consulted for a restore.
+    let mut reference = smarq_guest::Interpreter::new();
+    reference.run(&p, u64::MAX);
+    assert_eq!(sys.interp().arch_state(), reference.arch_state());
+    assert_eq!(sys.stats().rollbacks, 0);
+    // Invisible to the per-region validator and lint passes.
+    assert_eq!(sys.stats().verify_errors, 0);
+    // The chain analyzer catches it — both at link time...
+    let s = sys.stats();
+    assert!(s.chain_checks > 0, "self-loop region must chain-check");
+    assert!(s.chain_errors > 0, "link-time chain check missed the gap");
+    // ...and in the whole-chain report, as the right code.
+    let report = sys.analyze_chain().expect("verify mode keeps traces");
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "chain-writemask-gap" && d.severity == smarq::Severity::Error),
+        "{:?}",
+        report.diagnostics
+    );
+
+    // Same program without the fault: proven correct.
+    let clean = run_verified(&p);
+    assert_eq!(clean.stats().chain_errors, 0);
+    let report = clean.analyze_chain().unwrap();
+    assert!(
+        !report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "chain-writemask-gap"),
+        "{:?}",
+        report.diagnostics
+    );
+}
+
+/// `SMARQ_FAULT_WIDEN_RANGE` makes the runtime's whole-program dataflow
+/// skip widening — the optimizer's entry-range assumption for the loop
+/// head stays unsoundly narrow while the chain actually delivers an
+/// ever-growing pointer. Execution is untouched (the entry state only
+/// feeds the nospec taint, and none is configured), the per-region
+/// validator holds no cross-region facts to object with — only the chain
+/// analyzer's never-faulted reference fixpoint exposes the lie.
+#[test]
+fn chain_analyzer_alone_catches_unsound_range_widening() {
+    let _guard = fault_lock();
+    let p = striding_loop(200);
+
+    smarq::fault::set_widen_range(true);
+    let sys = run_verified(&p);
+    smarq::fault::set_widen_range(false);
+
+    let mut reference = smarq_guest::Interpreter::new();
+    reference.run(&p, u64::MAX);
+    assert_eq!(sys.interp().arch_state(), reference.arch_state());
+    assert_eq!(sys.stats().verify_errors, 0);
+    let s = sys.stats();
+    assert!(s.chain_checks > 0);
+    assert!(s.chain_errors > 0, "link-time chain check missed the gap");
+    let report = sys.analyze_chain().expect("verify mode keeps traces");
+    assert!(
+        report.diagnostics.iter().any(|d| {
+            d.code == "chain-entry-state"
+                && d.severity == smarq::Severity::Error
+                && d.message.contains("r3")
+        }),
+        "{:?}",
+        report.diagnostics
+    );
+
+    // Same program without the fault: the assumption is sound again.
+    let clean = run_verified(&p);
+    assert_eq!(clean.stats().chain_errors, 0);
+    let report = clean.analyze_chain().unwrap();
+    assert!(
+        !report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "chain-entry-state"),
+        "{:?}",
+        report.diagnostics
+    );
 }
 
 /// The static validator alone catches the dropped-anti fault, which NO

@@ -26,12 +26,16 @@
 
 mod alias;
 mod form;
+mod range;
 mod regionmap;
 mod sblock;
 mod unroll;
 
 pub use alias::{AliasAnalysis, AliasRel, MemRef};
 pub use form::{form_superblock, FormationParams};
+pub use range::{
+    analyze_superblock, analyze_superblock_top, apply_alu, bottom_state, nospec_taint, SbRanges,
+};
 pub use regionmap::{build_region_spec, RegionMap};
 pub use sblock::{IrExit, IrOp, OpOrigin, Superblock};
 pub use unroll::unroll_superblock;

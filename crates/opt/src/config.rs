@@ -1,6 +1,7 @@
 //! Optimizer configuration: which hardware to target and which speculative
 //! transformations to apply.
 
+use smarq::NospecRanges;
 use smarq_vliw::HwKind;
 
 /// Optimizer configuration.
@@ -21,6 +22,10 @@ pub struct OptConfig {
     /// Allow *speculative* store elimination (dead store across may-aliasing
     /// loads). Requires SMARQ hardware.
     pub allow_spec_store_elim: bool,
+    /// Unspeculatable address ranges. Memory operations whose derived
+    /// address interval can touch one of these ranges are *tainted*: never
+    /// reordered, never eliminated, never given P/C bits.
+    pub nospec: NospecRanges,
 }
 
 impl OptConfig {
@@ -33,6 +38,7 @@ impl OptConfig {
             allow_store_reorder: true,
             allow_spec_load_elim: true,
             allow_spec_store_elim: true,
+            nospec: NospecRanges::none(),
         }
     }
 
@@ -55,6 +61,7 @@ impl OptConfig {
             allow_store_reorder: true,
             allow_spec_load_elim: true,
             allow_spec_store_elim: true,
+            nospec: NospecRanges::none(),
         }
     }
 
@@ -68,6 +75,7 @@ impl OptConfig {
             allow_store_reorder: false,
             allow_spec_load_elim: false,
             allow_spec_store_elim: false,
+            nospec: NospecRanges::none(),
         }
     }
 
@@ -81,6 +89,7 @@ impl OptConfig {
             allow_store_reorder: false,
             allow_spec_load_elim: false,
             allow_spec_store_elim: false,
+            nospec: NospecRanges::none(),
         }
     }
 

@@ -87,6 +87,13 @@ fn droppable(a: &IrOp, b: &IrOp, config: &OptConfig) -> bool {
 }
 
 /// Builds the DAG over `work`.
+///
+/// `taint` flags per *superblock* op index the memory operations whose
+/// address can touch an unspeculatable range. Every memory pair involving
+/// a tainted op is pinned as a hard edge — regardless of the alias
+/// relation, and including load/load pairs — so tainted accesses execute
+/// in exact program order (MMIO-style side effects make even re-ordered
+/// reads unsafe) and never need alias-register bits.
 pub fn build_dag(
     sb: &Superblock,
     analysis: &AliasAnalysis,
@@ -94,6 +101,7 @@ pub fn build_dag(
     config: &OptConfig,
     machine: &MachineConfig,
     blacklist: &AliasBlacklist,
+    taint: &[bool],
 ) -> Dag {
     let n = work.ops.len();
     let mut hard_preds: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n];
@@ -186,8 +194,8 @@ pub fn build_dag(
     if config.hw == HwKind::Alat {
         let mut count = 0usize;
         for &l in &mems {
-            if work.ops[l].is_store() {
-                continue;
+            if work.ops[l].is_store() || taint[work.orig[l]] {
+                continue; // tainted loads never advance
             }
             let wants = mems.iter().any(|&s| {
                 s < l
@@ -203,6 +211,11 @@ pub fn build_dag(
     for (ai, &a) in mems.iter().enumerate() {
         for &b in &mems[ai + 1..] {
             let (oa, ob) = (work.orig[a], work.orig[b]);
+            if taint[oa] || taint[ob] {
+                // Unspeculatable: exact program order vs every memory op.
+                add(&mut hard_preds, &mut hard_succs, a, b, 0);
+                continue;
+            }
             let one_store = work.ops[a].is_store() || work.ops[b].is_store();
             if !one_store {
                 continue;
@@ -292,6 +305,7 @@ mod tests {
             config,
             &MachineConfig::default(),
             &AliasBlacklist::new(),
+            &vec![false; sb.ops.len()],
         );
         (sb, work, dag)
     }
@@ -405,6 +419,7 @@ mod tests {
             &OptConfig::smarq(64),
             &MachineConfig::default(),
             &AliasBlacklist::new(),
+            &vec![false; sb.ops.len()],
         );
         assert!(has_edge(&dag, 0, 1));
     }
@@ -441,6 +456,7 @@ mod tests {
             &OptConfig::smarq(64),
             &MachineConfig::default(),
             &bl,
+            &vec![false; sb.ops.len()],
         );
         assert!(has_edge(&dag, 0, 1));
         assert!(dag.spec_before[1].is_empty());
@@ -472,6 +488,59 @@ mod tests {
         assert_eq!(work.ops.len(), 3);
         assert_eq!(work.ops[1], IrOp::Copy { rd: 3, ra: 2 });
         assert_eq!(work.orig[1], 1);
+    }
+
+    #[test]
+    fn tainted_mem_pairs_are_pinned_hard() {
+        // ld [r2]; ld [r4]; st [r6] — pairwise may-alias except load/load,
+        // which normally carries no edge at all.
+        let ops = vec![
+            IrOp::Ld {
+                rd: 1,
+                base: 2,
+                disp: 0,
+            },
+            IrOp::Ld {
+                rd: 3,
+                base: 4,
+                disp: 0,
+            },
+            IrOp::St {
+                rs: 5,
+                base: 6,
+                disp: 0,
+            },
+        ];
+        let sb = mk_sb(ops);
+        let analysis = AliasAnalysis::new(&sb);
+        let elims = Eliminations {
+            replaced: vec![None; sb.ops.len()],
+            removed: vec![false; sb.ops.len()],
+            spec_load_elims: 0,
+            spec_store_elims: 0,
+            nonspec_elims: 0,
+        };
+        let work = build_work_list(&sb, &elims);
+        let mut taint = vec![false; sb.ops.len()];
+        taint[1] = true; // the middle load is unspeculatable
+        let dag = build_dag(
+            &sb,
+            &analysis,
+            &work,
+            &OptConfig::smarq(64),
+            &MachineConfig::default(),
+            &AliasBlacklist::new(),
+            &taint,
+        );
+        // Tainted load is ordered against BOTH neighbors, including the
+        // load/load pair, and nothing involving it is speculated.
+        assert!(has_edge(&dag, 0, 1));
+        assert!(has_edge(&dag, 1, 2));
+        assert!(dag.spec_before[1].is_empty());
+        assert!(!dag.spec_before[2].contains(&1));
+        // The untainted may-alias pair (0, 2) still speculates.
+        assert!(!has_edge(&dag, 0, 2));
+        assert!(dag.spec_before[2].contains(&0));
     }
 
     #[test]

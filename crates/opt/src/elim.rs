@@ -45,6 +45,13 @@ impl Eliminations {
 
 /// Runs both eliminations, recording them in `spec` so the dependence
 /// computation derives the paper's extended dependences.
+///
+/// `taint` flags per superblock op index the memory operations whose
+/// address can touch an unspeculatable range (see
+/// [`smarq_ir::nospec_taint`]). Tainted ops take part in **no**
+/// elimination, speculative or not: not as the eliminated op, not as the
+/// forwarding source / overwriter, and not as a window op that would have
+/// to carry an extended-dependence check bit.
 pub fn run_eliminations(
     sb: &Superblock,
     analysis: &AliasAnalysis,
@@ -52,6 +59,7 @@ pub fn run_eliminations(
     map: &RegionMap,
     config: &OptConfig,
     blacklist: &AliasBlacklist,
+    taint: &[bool],
 ) -> Eliminations {
     let n = sb.ops.len();
     let mut out = Eliminations {
@@ -142,6 +150,9 @@ pub fn run_eliminations(
                     .collect::<Vec<_>>(),
             )
             .collect();
+        if taint[l] || taint[src] || window_stores.iter().any(|&s| taint[s]) {
+            continue; // unspeculatable ops take part in no elimination
+        }
         let speculative = !window_stores.is_empty();
         if speculative {
             if !config.allow_spec_load_elim || !config.supports_spec_elim() {
@@ -237,6 +248,9 @@ pub fn run_eliminations(
         if blocked {
             continue;
         }
+        if taint[i] || taint[z] || may_loads.iter().any(|&y| taint[y]) {
+            continue; // unspeculatable ops take part in no elimination
+        }
         let speculative = !may_loads.is_empty();
         if speculative {
             if !config.allow_spec_store_elim || !config.supports_spec_elim() {
@@ -303,6 +317,7 @@ mod tests {
             &map,
             config,
             &AliasBlacklist::new(),
+            &vec![false; sb.ops.len()],
         );
         (e, spec)
     }
@@ -640,8 +655,116 @@ mod tests {
         let (mut spec, map) = smarq_ir::build_region_spec(&sb, &analysis);
         let mut bl = AliasBlacklist::new();
         bl.insert(sb.origins[1], sb.origins[2]);
-        let e = run_eliminations(&sb, &analysis, &mut spec, &map, &OptConfig::smarq(64), &bl);
+        let e = run_eliminations(
+            &sb,
+            &analysis,
+            &mut spec,
+            &map,
+            &OptConfig::smarq(64),
+            &bl,
+            &vec![false; sb.ops.len()],
+        );
         assert_eq!(e.replaced[2], None, "blacklisted pair is never speculated");
+    }
+
+    #[test]
+    fn tainted_ops_take_part_in_no_elimination() {
+        // st [r1]=r2 ; ld r3=[r1]: trivially forwardable — unless tainted.
+        let sb = mk_sb(vec![
+            IrOp::St {
+                rs: 2,
+                base: 1,
+                disp: 0,
+            },
+            IrOp::Ld {
+                rd: 3,
+                base: 1,
+                disp: 0,
+            },
+        ]);
+        let analysis = AliasAnalysis::new(&sb);
+        let config = OptConfig::smarq(64);
+        for hot in [0usize, 1] {
+            let (mut spec, map) = smarq_ir::build_region_spec(&sb, &analysis);
+            let mut taint = vec![false; sb.ops.len()];
+            taint[hot] = true;
+            let e = run_eliminations(
+                &sb,
+                &analysis,
+                &mut spec,
+                &map,
+                &config,
+                &AliasBlacklist::new(),
+                &taint,
+            );
+            assert_eq!(e.replaced[1], None, "taint on op {hot} blocks forwarding");
+            assert_eq!(e.nonspec_elims, 0);
+        }
+
+        // Tainted may-store inside a speculative forwarding window also
+        // blocks (it would have to carry a check bit).
+        let sb2 = mk_sb(vec![
+            IrOp::Ld {
+                rd: 3,
+                base: 1,
+                disp: 0,
+            },
+            IrOp::St {
+                rs: 5,
+                base: 4,
+                disp: 0,
+            },
+            IrOp::Ld {
+                rd: 6,
+                base: 1,
+                disp: 0,
+            },
+        ]);
+        let analysis2 = AliasAnalysis::new(&sb2);
+        let (mut spec2, map2) = smarq_ir::build_region_spec(&sb2, &analysis2);
+        let mut taint2 = vec![false; sb2.ops.len()];
+        taint2[1] = true;
+        let e2 = run_eliminations(
+            &sb2,
+            &analysis2,
+            &mut spec2,
+            &map2,
+            &config,
+            &AliasBlacklist::new(),
+            &taint2,
+        );
+        assert_eq!(
+            e2.replaced[2], None,
+            "tainted window store blocks spec elim"
+        );
+
+        // Store elimination is blocked the same way.
+        let sb3 = mk_sb(vec![
+            IrOp::St {
+                rs: 2,
+                base: 1,
+                disp: 0,
+            },
+            IrOp::St {
+                rs: 5,
+                base: 1,
+                disp: 0,
+            },
+        ]);
+        let analysis3 = AliasAnalysis::new(&sb3);
+        let (mut spec3, map3) = smarq_ir::build_region_spec(&sb3, &analysis3);
+        let mut taint3 = vec![false; sb3.ops.len()];
+        taint3[0] = true;
+        let e3 = run_eliminations(
+            &sb3,
+            &analysis3,
+            &mut spec3,
+            &map3,
+            &config,
+            &AliasBlacklist::new(),
+            &taint3,
+        );
+        assert!(!e3.removed[0], "tainted dead store must still execute");
     }
 }
 

@@ -105,6 +105,10 @@ pub struct OptTrace {
     /// The alias register allocation (`None` for hardware schemes without
     /// an embedded allocator, e.g. ALAT or no-alias-support).
     pub allocation: Option<smarq::Allocation>,
+    /// Per [`smarq::MemOpId`] index: the superblock op index it lowers.
+    /// Lets external analyzers relate allocation-level findings back to
+    /// the IR (e.g. to re-derive address ranges for scheduled mem ops).
+    pub mem_origin: Vec<usize>,
 }
 
 /// Optimizes one superblock for the configured hardware.
@@ -163,10 +167,32 @@ pub fn optimize_superblock_traced(
     blacklist: &AliasBlacklist,
     scratch: &mut smarq::AllocScratch,
 ) -> (Optimized, OptTrace) {
+    optimize_superblock_traced_ranged(sb, config, machine, blacklist, scratch, None)
+}
+
+/// Like [`optimize_superblock_traced`], with an optional abstract **entry
+/// register state** from a whole-program dataflow analysis (see
+/// `smarq-verify`). When [`OptConfig::nospec`] is non-empty, the entry
+/// state sharpens the address intervals used to decide which memory
+/// operations are *tainted* (can touch an unspeculatable range): with
+/// `None`, every entry-dependent address is unknown (⊤) and conservatively
+/// tainted. Tainted ops are excluded from every elimination and pinned in
+/// program order against all other memory operations.
+///
+/// # Panics
+/// Panics if `sb` fails [`Superblock::validate`] (caller bug).
+pub fn optimize_superblock_traced_ranged(
+    sb: &Superblock,
+    config: &OptConfig,
+    machine: &MachineConfig,
+    blacklist: &AliasBlacklist,
+    scratch: &mut smarq::AllocScratch,
+    entry: Option<&smarq::RegState>,
+) -> (Optimized, OptTrace) {
     sb.validate().expect("well-formed superblock");
     let mut cfg = config.clone();
     for retry in 0..3u32 {
-        match try_optimize(sb, &cfg, machine, blacklist, scratch) {
+        match try_optimize(sb, &cfg, machine, blacklist, scratch, entry) {
             Ok((mut opt, trace)) => {
                 opt.stats.overflow_retries = retry;
                 return (opt, trace);
@@ -194,14 +220,35 @@ fn try_optimize(
     machine: &MachineConfig,
     blacklist: &AliasBlacklist,
     scratch: &mut smarq::AllocScratch,
+    entry: Option<&smarq::RegState>,
 ) -> Result<(Optimized, OptTrace), Overflowed> {
     let analysis = AliasAnalysis::new(sb);
     let (mut spec, map) = build_region_spec(sb, &analysis);
-    let mut elims = elim::run_eliminations(sb, &analysis, &mut spec, &map, config, blacklist);
+    // Nospec taint: which memory ops can touch an unspeculatable range,
+    // under the derived address intervals (entry state from the caller's
+    // whole-program dataflow, or ⊤ when none is available).
+    let taint = if config.nospec.is_empty() {
+        vec![false; sb.ops.len()]
+    } else {
+        let ranges = match entry {
+            Some(e) => smarq_ir::analyze_superblock(sb, e),
+            None => smarq_ir::analyze_superblock_top(sb),
+        };
+        smarq_ir::nospec_taint(sb, &ranges, &config.nospec)
+    };
+    for (i, &t) in taint.iter().enumerate() {
+        if t {
+            if let Some(id) = map.mem_id(i) {
+                spec.set_nospec(id);
+            }
+        }
+    }
+    let mut elims =
+        elim::run_eliminations(sb, &analysis, &mut spec, &map, config, blacklist, &taint);
     elim::dce(sb, &mut elims);
     let deps = DepGraph::compute(&spec);
     let work = dag::build_work_list(sb, &elims);
-    let graph = dag::build_dag(sb, &analysis, &work, config, machine, blacklist);
+    let graph = dag::build_dag(sb, &analysis, &work, config, machine, blacklist, &taint);
     let sched_start = std::time::Instant::now();
     // On overflow the scratch is dropped inside the allocator; leave the
     // caller's slot holding a fresh (empty) one.
@@ -269,9 +316,10 @@ fn try_optimize(
     }
 
     // Memory-op tags are MemOpId indices; map them back to guest origins.
-    let tag_origin: Vec<OpOrigin> = (0..map.len())
-        .map(|k| sb.origins[map.op_index(smarq::MemOpId::new(k))])
+    let mem_origin: Vec<usize> = (0..map.len())
+        .map(|k| map.op_index(smarq::MemOpId::new(k)))
         .collect();
+    let tag_origin: Vec<OpOrigin> = mem_origin.iter().map(|&i| sb.origins[i]).collect();
 
     Ok((
         Optimized {
@@ -284,6 +332,7 @@ fn try_optimize(
             deps,
             mem_schedule: mem_sched,
             allocation: sched.allocation,
+            mem_origin,
         },
     ))
 }

@@ -254,6 +254,7 @@ mod tests {
             config,
             &MachineConfig::default(),
             &AliasBlacklist::new(),
+            &vec![false; sb.ops.len()],
         );
         let res = schedule(
             &work,

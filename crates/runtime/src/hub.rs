@@ -303,6 +303,10 @@ impl HubShared {
             blacklist_gen,
             verify: self.cfg.verify_translations,
             compile_fast: self.cfg.exec_tier == ExecTier::Functional,
+            // The hub serves many guest programs and caches no per-program
+            // dataflow; assuming ⊤ at entry is sound (the nospec taint
+            // just falls back to assume-the-worst precision).
+            entry_state: None,
         }
     }
 
@@ -615,6 +619,7 @@ impl TranslationHub {
                 blacklist_gen: gen,
                 verify: inner.cfg.verify_translations,
                 compile_fast: inner.cfg.exec_tier == ExecTier::Functional,
+                entry_state: None,
             };
             drop(bl);
             let hj = HubJob {

@@ -72,6 +72,13 @@ pub struct SystemStats {
     /// JSON-serialized diagnostics from verify-on-emit, capped at
     /// [`Self::VERIFY_DIAGNOSTIC_CAP`] entries.
     pub verify_diagnostics: Vec<String>,
+    /// Chain-boundary verifications run when the chained dispatcher
+    /// memoized a region→region link (verify-on-emit mode).
+    pub chain_checks: u64,
+    /// Error-severity findings from those link-time chain checks. Always
+    /// 0 for a correct optimizer/runtime — any other value is a chained
+    /// hand-off bug caught before the link was ever followed.
+    pub chain_errors: usize,
     /// Region entries executed on the fast-functional tier (these carry
     /// no `vliw_cycles` — the fast tier has no timing model).
     pub tier_fast_entries: u64,

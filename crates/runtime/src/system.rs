@@ -6,16 +6,15 @@ use crate::translate_service::{
     FinishedTranslation, JobInput, JobKind, StepExecutor, ThreadedExecutor, TranslationExecutor,
     TranslationJob, TranslationService,
 };
+use smarq::range::{NospecRanges, RegState};
 use smarq::AllocScratch;
 use smarq_guest::Memory;
 use smarq_guest::{BlockId, Interpreter, Program};
 use smarq_ir::OpOrigin;
 use smarq_ir::{form_superblock, unroll_superblock, FormationParams, Superblock};
 use smarq_opt::fastcomp::{self, FastProgram, FastSim};
-use smarq_opt::{
-    optimize_superblock_traced, optimize_superblock_with_scratch, AliasBlacklist, OptConfig,
-    OptTrace,
-};
+use smarq_opt::{optimize_superblock_traced_ranged, AliasBlacklist, OptConfig, OptTrace};
+use smarq_verify::{ChainRegionView, ChainReport, ProgramDataflow};
 use smarq_vliw::{
     AliasViolation, AnyAliasHw, FastState, MachineConfig, RegionOutcome, RegionStats,
     RegionWriteMask, Simulator, VliwProgram, VliwState,
@@ -119,6 +118,16 @@ pub struct SystemConfig {
     /// queue are dropped (and counted); the block stays hot, so the next
     /// dispatch of it simply retries.
     pub translate_queue_depth: u32,
+    /// Unspeculatable guest address ranges: no memory op whose derived
+    /// address can touch one of these is ever eliminated, reordered, or
+    /// annotated with alias bits by the optimizer (paper-external safety
+    /// contract for MMIO-like regions). Propagated into
+    /// [`OptConfig::nospec`] at system construction; the whole-program
+    /// value-range analysis ([`smarq_verify::analyze`]) supplies each
+    /// region's entry state so the taint is range-precise. Defaults to
+    /// the `SMARQ_NOSPEC` environment variable (`lo..hi[,lo..hi…]`,
+    /// half-open, decimal or `0x` hex; read once per process).
+    pub nospec_ranges: NospecRanges,
 }
 
 fn verify_from_env() -> bool {
@@ -132,6 +141,18 @@ fn async_from_env() -> bool {
     *FROM_ENV.get_or_init(|| {
         std::env::var_os("SMARQ_ASYNC_TRANSLATE").is_some_and(|v| !v.is_empty() && v != "0")
     })
+}
+
+fn nospec_from_env() -> NospecRanges {
+    static FROM_ENV: std::sync::OnceLock<NospecRanges> = std::sync::OnceLock::new();
+    FROM_ENV
+        .get_or_init(|| match std::env::var("SMARQ_NOSPEC") {
+            Ok(v) if !v.trim().is_empty() => {
+                NospecRanges::parse(&v).unwrap_or_else(|e| panic!("invalid SMARQ_NOSPEC: {e}"))
+            }
+            _ => NospecRanges::none(),
+        })
+        .clone()
 }
 
 fn exec_tier_from_env() -> ExecTier {
@@ -163,6 +184,7 @@ impl Default for SystemConfig {
             async_translate: async_from_env(),
             translate_workers: 1,
             translate_queue_depth: 4,
+            nospec_ranges: nospec_from_env(),
         }
     }
 }
@@ -202,6 +224,13 @@ struct CachedRegion {
     /// but counted, because it is exactly the window async translation
     /// opens).
     blacklist_gen: u64,
+    /// The optimizer's trace, retained under verify-on-emit mode only —
+    /// the link-time chain checks re-derive their facts from it.
+    trace: Option<OptTrace>,
+    /// The abstract entry register state the optimizer's nospec taint
+    /// assumed (`None` = assumed ⊤). The chain analyzer proves no chained
+    /// predecessor can deliver a state outside it.
+    assumed_entry: Option<RegState>,
 }
 
 /// Why [`DynOptSystem::run_to_completion`] stopped.
@@ -261,6 +290,9 @@ pub struct DynOptSystem {
     stats: SystemStats,
     /// Allocator scratch recycled across every (re)translation.
     scratch: AllocScratch,
+    /// Whole-program value-range analysis (entry state per guest block);
+    /// `None` when neither nospec ranges nor verify-on-emit need it.
+    dataflow: Option<ProgramDataflow>,
     /// The background translation service (async mode only).
     service: Option<TranslationService>,
     /// Resume point of [`Self::run_bounded`]: the next guest block to
@@ -302,9 +334,19 @@ impl DynOptSystem {
 
     fn build(
         program: Program,
-        config: SystemConfig,
+        mut config: SystemConfig,
         exec: Option<Box<dyn TranslationExecutor>>,
     ) -> Self {
+        // Thread the system-level nospec set into the optimizer config so
+        // both the inline and worker translation paths enforce it.
+        if !config.nospec_ranges.is_empty() {
+            config.opt.nospec = config.nospec_ranges.clone();
+        }
+        // The whole-program value-range analysis that makes the nospec
+        // taint range-precise (and seeds chain verification). Computed
+        // once per system; skipped entirely when nothing consumes it.
+        let dataflow = (!config.opt.nospec.is_empty() || config.verify_translations)
+            .then(|| smarq_verify::analyze(&program));
         let hw = AnyAliasHw::for_kind(config.opt.hw, config.opt.num_alias_regs);
         let sim = Simulator::new(config.machine, hw);
         let fast_sim = FastSim::new(config.opt.hw, config.opt.num_alias_regs);
@@ -332,6 +374,7 @@ impl DynOptSystem {
             blacklist_gen: 0,
             stats: SystemStats::default(),
             scratch: AllocScratch::new(),
+            dataflow,
             service: exec.map(|e| TranslationService::new(e, num_blocks)),
             cursor: Some(entry),
         }
@@ -498,6 +541,12 @@ impl DynOptSystem {
             self.stats.interp_instrs * self.config.machine.interp_cycles_per_instr;
     }
 
+    /// The derived abstract register state at `b`'s entry, when the
+    /// whole-program range analysis ran (nospec or verify mode).
+    fn entry_state(&self, b: BlockId) -> Option<RegState> {
+        self.dataflow.as_ref().map(|d| *d.entry_state(b))
+    }
+
     /// Flat-cache probe for the region cached at `b`, if any.
     #[inline]
     fn cached_region(&self, b: BlockId) -> Option<usize> {
@@ -569,6 +618,7 @@ impl DynOptSystem {
             blacklist_gen: self.blacklist_gen,
             verify: self.config.verify_translations,
             compile_fast: self.config.exec_tier == ExecTier::Functional,
+            entry_state: self.entry_state(kind.entry()),
         }
     }
 
@@ -679,6 +729,8 @@ impl DynOptSystem {
             links,
             fast: fin.fast,
             blacklist_gen: fin.blacklist_gen,
+            trace: fin.trace,
+            assumed_entry: fin.entry_state,
         });
         self.cache[entry.index()] = (self.regions.len() - 1) as u32;
         self.naive_cache.insert(entry, self.regions.len() - 1);
@@ -704,6 +756,8 @@ impl DynOptSystem {
         self.regions[idx].fast = fin.fast;
         self.regions[idx].vliw = fin.opt.vliw;
         self.regions[idx].tag_origin = fin.opt.tag_origin;
+        self.regions[idx].trace = fin.trace;
+        self.regions[idx].assumed_entry = fin.entry_state;
         self.regions[idx].write_mask = RegionWriteMask::of(&self.regions[idx].vliw);
         let exits = self.regions[idx].vliw.exits.len();
         self.regions[idx].links = vec![ChainLink::Unresolved; exits];
@@ -748,32 +802,23 @@ impl DynOptSystem {
             self.config.unroll_factor,
             self.config.formation.max_ops,
         );
-        let (opt, trace) = if self.config.verify_translations {
-            let (opt, trace) = optimize_superblock_traced(
-                &sb,
-                &self.config.opt,
-                &self.config.machine,
-                &self.blacklist,
-                &mut self.scratch,
-            );
-            (opt, Some(trace))
-        } else {
-            let opt = optimize_superblock_with_scratch(
-                &sb,
-                &self.config.opt,
-                &self.config.machine,
-                &self.blacklist,
-                &mut self.scratch,
-            );
-            (opt, None)
-        };
+        let assumed_entry = self.entry_state(entry);
+        let (opt, trace) = optimize_superblock_traced_ranged(
+            &sb,
+            &self.config.opt,
+            &self.config.machine,
+            &self.blacklist,
+            &mut self.scratch,
+            assumed_entry.as_ref(),
+        );
+        let trace = self.config.verify_translations.then_some(trace);
         let ns = t0.elapsed().as_nanos() as u64;
         self.stats.translation_ns += ns;
         self.stats.scheduling_ns += opt.stats.sched_ns;
         // Verify after the overhead clock stops: the paper's Figure 18
         // overhead metric must not be polluted by an opt-in debug mode.
-        if let Some(trace) = trace {
-            self.verify_emitted(self.regions.len(), &trace);
+        if let Some(trace) = &trace {
+            self.verify_emitted(self.regions.len(), trace);
         }
 
         let exit_instrs = exit_instr_counts(&sb);
@@ -791,6 +836,8 @@ impl DynOptSystem {
             links,
             fast,
             blacklist_gen: self.blacklist_gen,
+            trace,
+            assumed_entry,
         });
         self.cache[entry.index()] = (self.regions.len() - 1) as u32;
         self.naive_cache.insert(entry, self.regions.len() - 1);
@@ -806,31 +853,24 @@ impl DynOptSystem {
 
     fn retranslate(&mut self, idx: usize) {
         let t0 = Instant::now();
-        let (opt, trace) = if self.config.verify_translations {
-            let (opt, trace) = optimize_superblock_traced(
-                &self.regions[idx].sb,
-                &self.config.opt,
-                &self.config.machine,
-                &self.blacklist,
-                &mut self.scratch,
-            );
-            (opt, Some(trace))
-        } else {
-            let opt = optimize_superblock_with_scratch(
-                &self.regions[idx].sb,
-                &self.config.opt,
-                &self.config.machine,
-                &self.blacklist,
-                &mut self.scratch,
-            );
-            (opt, None)
-        };
+        let assumed_entry = self.entry_state(self.regions[idx].entry);
+        let (opt, trace) = optimize_superblock_traced_ranged(
+            &self.regions[idx].sb,
+            &self.config.opt,
+            &self.config.machine,
+            &self.blacklist,
+            &mut self.scratch,
+            assumed_entry.as_ref(),
+        );
+        let trace = self.config.verify_translations.then_some(trace);
         let ns = t0.elapsed().as_nanos() as u64;
         self.stats.translation_ns += ns;
         self.stats.scheduling_ns += opt.stats.sched_ns;
-        if let Some(trace) = trace {
-            self.verify_emitted(idx, &trace);
+        if let Some(trace) = &trace {
+            self.verify_emitted(idx, trace);
         }
+        self.regions[idx].trace = trace;
+        self.regions[idx].assumed_entry = assumed_entry;
         self.regions[idx].fast = self.compile_fast(&opt.vliw);
         self.regions[idx].vliw = opt.vliw;
         self.regions[idx].tag_origin = opt.tag_origin;
@@ -888,6 +928,77 @@ impl DynOptSystem {
                 self.stats.verify_diagnostics.push(d.to_json());
             }
         }
+    }
+
+    /// Chain-boundary verification at link time (verify-on-emit mode):
+    /// when the chained dispatcher memoizes a region→region link, the
+    /// hand-off obligations of the two regions involved — write-mask
+    /// coverage, entry-state soundness, nospec protection, dead `AMOV`s
+    /// and unreachable checks — are proven by the chain analyzer and the
+    /// findings folded into [`SystemStats`]. Observation only, like
+    /// [`Self::verify_emitted`].
+    fn chain_check_link(&mut self, from: usize, to: usize) {
+        let mut ids = vec![from];
+        if to != from {
+            ids.push(to);
+        }
+        let mut views = Vec::with_capacity(ids.len());
+        for &i in &ids {
+            let r = &self.regions[i];
+            // Regions installed before verify mode was on carry no trace;
+            // nothing to re-derive facts from.
+            let Some(trace) = r.trace.as_ref() else {
+                return;
+            };
+            views.push(ChainRegionView {
+                region_id: i,
+                sb: &r.sb,
+                trace,
+                vliw: &r.vliw,
+                write_mask: r.write_mask,
+                assumed_entry: r.assumed_entry,
+            });
+        }
+        let report = smarq_verify::analyze_chain(&self.program, &views, &self.config.opt.nospec);
+        self.stats.chain_checks += 1;
+        for d in &report.diagnostics {
+            if d.severity == smarq::Severity::Error {
+                self.stats.chain_errors += 1;
+            }
+            if self.stats.verify_diagnostics.len() < SystemStats::VERIFY_DIAGNOSTIC_CAP {
+                self.stats.verify_diagnostics.push(d.to_json());
+            }
+        }
+    }
+
+    /// Runs the whole-chain static analyzer over every cached region that
+    /// carries an optimizer trace (verify-on-emit mode retains them).
+    /// `None` when no region does — external oracles (the fuzzer's chain
+    /// layer, `smarq-run lint`) call this instead of rebuilding views.
+    pub fn analyze_chain(&self) -> Option<ChainReport> {
+        let views: Vec<ChainRegionView<'_>> = self
+            .regions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| {
+                r.trace.as_ref().map(|trace| ChainRegionView {
+                    region_id: i,
+                    sb: &r.sb,
+                    trace,
+                    vliw: &r.vliw,
+                    write_mask: r.write_mask,
+                    assumed_entry: r.assumed_entry,
+                })
+            })
+            .collect();
+        if views.is_empty() {
+            return None;
+        }
+        Some(smarq_verify::analyze_chain(
+            &self.program,
+            &views,
+            &self.config.opt.nospec,
+        ))
     }
 
     /// Folds one region execution's statistics into the system totals.
@@ -1010,6 +1121,11 @@ impl DynOptSystem {
                     match self.cached_region(BlockId(target)) {
                         Some(j) => {
                             self.regions[idx].links[exit_id] = ChainLink::Region(j as u32);
+                            if self.config.verify_translations {
+                                // Prove the hand-off before the link is
+                                // ever followed (observation mode).
+                                self.chain_check_link(idx, j);
+                            }
                             j
                         }
                         None => {
@@ -1150,6 +1266,11 @@ impl DynOptSystem {
                     match self.cached_region(BlockId(target)) {
                         Some(j) => {
                             self.regions[idx].links[exit_id] = ChainLink::Region(j as u32);
+                            if self.config.verify_translations {
+                                // Prove the hand-off before the link is
+                                // ever followed (observation mode).
+                                self.chain_check_link(idx, j);
+                            }
                             j
                         }
                         None => {

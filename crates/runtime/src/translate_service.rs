@@ -23,13 +23,13 @@
 //! translated under an older blacklist — "stale" translations, counted in
 //! [`crate::SystemStats::async_stale_entries`]).
 
+use smarq::range::RegState;
 use smarq::{AllocScratch, Diagnostic};
 use smarq_guest::{BlockId, Profile, Program};
 use smarq_ir::{form_superblock, unroll_superblock, FormationParams, Superblock};
 use smarq_opt::fastcomp::{self, FastProgram};
 use smarq_opt::{
-    optimize_superblock_traced, optimize_superblock_with_scratch, AliasBlacklist, OptConfig,
-    Optimized,
+    optimize_superblock_traced_ranged, AliasBlacklist, OptConfig, OptTrace, Optimized,
 };
 use smarq_vliw::MachineConfig;
 use std::collections::VecDeque;
@@ -109,6 +109,9 @@ pub struct TranslationJob {
     pub verify: bool,
     /// Also lower the region for the fast-functional tier.
     pub compile_fast: bool,
+    /// Abstract entry register state from the whole-program range
+    /// analysis (`None` = assume ⊤), for the range-precise nospec taint.
+    pub entry_state: Option<RegState>,
 }
 
 /// A finished translation, ready to be atomically published by the
@@ -127,6 +130,11 @@ pub struct FinishedTranslation {
     pub diags: Vec<Diagnostic>,
     /// Whether the worker ran static verification.
     pub verified: bool,
+    /// The optimizer's trace, retained when verification ran (the
+    /// publisher keeps it for link-time chain checks).
+    pub trace: Option<OptTrace>,
+    /// The entry state the optimization assumed (echoed from the job).
+    pub entry_state: Option<RegState>,
     /// Fast-functional lowering (when requested).
     pub fast: Option<FastProgram>,
     /// Blacklist generation the job optimized against.
@@ -149,17 +157,20 @@ pub fn run_translation_job(job: TranslationJob, scratch: &mut AllocScratch) -> F
             sb
         }
     };
-    let (opt, diags) = if job.verify {
-        let (opt, trace) =
-            optimize_superblock_traced(&sb, &job.opt, &job.machine, &job.blacklist, scratch);
-        let diags =
-            smarq_verify::verify_trace(job.kind.entry().index(), &trace, job.opt.num_alias_regs);
-        (opt, diags)
+    let (opt, trace) = optimize_superblock_traced_ranged(
+        &sb,
+        &job.opt,
+        &job.machine,
+        &job.blacklist,
+        scratch,
+        job.entry_state.as_ref(),
+    );
+    let diags = if job.verify {
+        smarq_verify::verify_trace(job.kind.entry().index(), &trace, job.opt.num_alias_regs)
     } else {
-        let opt =
-            optimize_superblock_with_scratch(&sb, &job.opt, &job.machine, &job.blacklist, scratch);
-        (opt, Vec::new())
+        Vec::new()
     };
+    let trace = job.verify.then_some(trace);
     let fast = job
         .compile_fast
         .then(|| fastcomp::compile(&opt.vliw).expect("translated region is well formed"));
@@ -169,6 +180,8 @@ pub fn run_translation_job(job: TranslationJob, scratch: &mut AllocScratch) -> F
         opt,
         diags,
         verified: job.verify,
+        trace,
+        entry_state: job.entry_state,
         fast,
         blacklist_gen: job.blacklist_gen,
         worker_ns: t0.elapsed().as_nanos() as u64,

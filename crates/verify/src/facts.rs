@@ -15,6 +15,10 @@
 //!
 //! * **DEPENDENCE** — `X →dep Y` when `X` precedes `Y` in original order,
 //!   both survive elimination, they may alias, and at least one is a store.
+//! * **NOSPEC-DEPENDENCE** — when either op is marked *unspeculatable*
+//!   (its address can touch a configured nospec range), the pair is a
+//!   dependence regardless of the alias relation, as long as one is a
+//!   store: tainted accesses keep exact program order.
 //! * **EXTENDED-DEPENDENCE 1** — load `Z` eliminated by forwarding from
 //!   `X`: every surviving *store* `Y` strictly between `X` and `Z` that may
 //!   alias `X` gets `Y →dep X` (the forwarding source's register stands in
@@ -79,7 +83,8 @@ impl RegionFacts {
                 let (x, y) = (MemOpId::new(i), MemOpId::new(j));
                 let a_store = region.op(x).kind.is_store();
                 let b_store = region.op(y).kind.is_store();
-                if (a_store || b_store) && region.may_alias(x, y) {
+                let ordered = region.may_alias(x, y) || region.is_nospec(x) || region.is_nospec(y);
+                if (a_store || b_store) && ordered {
                     f.dep[i * n + j] = true;
                 }
             }

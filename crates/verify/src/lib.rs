@@ -22,13 +22,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chain;
+pub mod dataflow;
 pub mod facts;
 pub mod lint;
+pub mod registry;
 pub mod replay;
 
+pub use chain::{analyze_chain, ChainEdge, ChainRegionView, ChainReport};
+pub use dataflow::{analyze, analyze_reference, ProgramDataflow};
 pub use facts::RegionFacts;
 pub use lint::{default_passes, run_passes, LintContext, LintPass};
+pub use registry::{is_known, lookup, CodeInfo, CodeOrigin, LintPolicy, CODES, CODE_TABLE_VERSION};
 
+use smarq::range::Interval;
 use smarq::{Allocation, Diagnostic, MemOpId, RegionSpec, Severity};
 use smarq_opt::OptTrace;
 
@@ -61,6 +68,7 @@ pub fn lint_region(
         alloc,
         num_regs,
         facts: &facts,
+        addr: None,
     };
     run_passes(&cx, &default_passes())
 }
@@ -74,6 +82,20 @@ pub fn check_region(
     alloc: &Allocation,
     num_regs: u32,
 ) -> Vec<Diagnostic> {
+    check_region_ranged(region_id, spec, schedule, alloc, num_regs, None)
+}
+
+/// [`check_region`] with optional derived access-address intervals per
+/// [`MemOpId`] (from the range analysis); range-aware lint passes refine
+/// their severities with them.
+pub fn check_region_ranged(
+    region_id: usize,
+    spec: &RegionSpec,
+    schedule: &[MemOpId],
+    alloc: &Allocation,
+    num_regs: u32,
+    addr: Option<&[Interval]>,
+) -> Vec<Diagnostic> {
     let facts = RegionFacts::derive(spec, schedule);
     let mut out = replay::replay(region_id, spec, alloc, &facts);
     let cx = LintContext {
@@ -83,6 +105,7 @@ pub fn check_region(
         alloc,
         num_regs,
         facts: &facts,
+        addr,
     };
     out.extend(run_passes(&cx, &default_passes()));
     out
@@ -100,10 +123,43 @@ pub fn verify_trace(region_id: usize, trace: &OptTrace, _num_regs: u32) -> Vec<D
 
 /// [`check_region`] over an optimizer trace (validator + lints).
 pub fn check_trace(region_id: usize, trace: &OptTrace, num_regs: u32) -> Vec<Diagnostic> {
-    match &trace.allocation {
-        Some(alloc) => check_region(region_id, &trace.spec, &trace.mem_schedule, alloc, num_regs),
-        None => Vec::new(),
-    }
+    check_trace_ranged(region_id, trace, num_regs, None)
+}
+
+/// [`check_trace`] with the region's source superblock and its analyzed
+/// entry state: per-op access-address intervals are derived from the
+/// range analysis and fed to the range-aware lint passes, which use them
+/// to refine severities (e.g. an unprotected pair whose addresses are
+/// provably disjoint is a warning, not an error).
+pub fn check_trace_ranged(
+    region_id: usize,
+    trace: &OptTrace,
+    num_regs: u32,
+    source: Option<(&smarq_ir::Superblock, &smarq::range::RegState)>,
+) -> Vec<Diagnostic> {
+    let Some(alloc) = &trace.allocation else {
+        return Vec::new();
+    };
+    let addr: Option<Vec<Interval>> = source.map(|(sb, entry)| {
+        let ranges = smarq_ir::analyze_superblock(sb, entry);
+        (0..trace.spec.len())
+            .map(|k| {
+                trace
+                    .mem_origin
+                    .get(k)
+                    .and_then(|&oi| ranges.addr.get(oi).copied().flatten())
+                    .unwrap_or(Interval::TOP)
+            })
+            .collect()
+    });
+    check_region_ranged(
+        region_id,
+        &trace.spec,
+        &trace.mem_schedule,
+        alloc,
+        num_regs,
+        addr.as_deref(),
+    )
 }
 
 /// `true` when `diags` contains no [`Severity::Error`] finding (warnings
@@ -215,6 +271,7 @@ mod tests {
             deps,
             mem_schedule: sched,
             allocation: None,
+            mem_origin: Vec::new(),
         };
         assert!(verify_trace(0, &trace, 64).is_empty());
         assert!(check_trace(0, &trace, 64).is_empty());

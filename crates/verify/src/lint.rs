@@ -10,6 +10,7 @@
 //! [`run_passes`]).
 
 use crate::facts::RegionFacts;
+use smarq::range::{Interval, ACCESS_BYTES};
 use smarq::{AliasCode, Allocation, Diagnostic, MemOpId, RegionSpec, Severity};
 
 /// Everything a lint pass may inspect about one optimized region.
@@ -27,6 +28,19 @@ pub struct LintContext<'a> {
     pub num_regs: u32,
     /// Independently derived protection requirements.
     pub facts: &'a RegionFacts,
+    /// Derived access-address interval per [`MemOpId`] index (⊤ where
+    /// unknown), from the value-range analysis; `None` when no range
+    /// analysis ran. Range-aware passes refine their verdicts with it.
+    pub addr: Option<&'a [Interval]>,
+}
+
+/// `true` when two word accesses with the given start-address intervals
+/// provably never overlap (both bounded, footprints disjoint).
+pub(crate) fn provably_disjoint(a: Interval, b: Interval) -> bool {
+    if a.is_bottom() || b.is_bottom() || a.is_top() || b.is_top() {
+        return false;
+    }
+    a.hi.saturating_add(ACCESS_BYTES - 1) < b.lo || b.hi.saturating_add(ACCESS_BYTES - 1) < a.lo
 }
 
 /// One lint pass. Implementations must be pure observers: they read the
@@ -163,24 +177,61 @@ impl LintPass for DeadAmov {
 /// hardware alias register file. Overflow is an error (the region cannot
 /// run under speculation); near-overflow is a warning (one more hoist or a
 /// larger unroll tips it over, costing a retranslation).
+///
+/// The register demand is **re-derived from the code stream** — the
+/// largest offset any `P`/`C` op or `AMOV` references, and the largest
+/// rotation amount — rather than trusting the allocation's recorded
+/// `working_set()` statistic. A tampered or miscomputed statistic that
+/// *understates* the demand would otherwise hide a genuine overflow.
 pub struct OverflowRisk;
+
+/// The minimal alias register file the code stream can run on: every
+/// referenced offset must exist (`offset < N`) and every rotation must
+/// fit (`amount <= N`), per [`smarq::AliasQueue`] semantics.
+fn derived_working_set(alloc: &Allocation) -> u32 {
+    let mut need = 0u32;
+    for c in alloc.code() {
+        match *c {
+            AliasCode::Op {
+                p_bit,
+                c_bit,
+                offset: Some(o),
+                ..
+            } if p_bit || c_bit => need = need.max(o.value() + 1),
+            AliasCode::Amov(a) => {
+                need = need
+                    .max(a.src_offset.value() + 1)
+                    .max(a.dst_offset.value() + 1);
+            }
+            AliasCode::Rotate(r) => need = need.max(r.amount),
+            _ => {}
+        }
+    }
+    need
+}
 
 impl LintPass for OverflowRisk {
     fn name(&self) -> &'static str {
         "overflow-risk"
     }
     fn description(&self) -> &'static str {
-        "working set exceeds or crowds the hardware alias register file"
+        "re-derived working set exceeds or crowds the hardware alias register file"
     }
     fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
-        let ws = cx.alloc.working_set();
+        let ws = derived_working_set(cx.alloc);
+        let recorded = cx.alloc.working_set();
         let hw = cx.num_regs;
+        let liar = if ws > recorded {
+            format!(" (recorded working set {recorded} understates the code stream)")
+        } else {
+            String::new()
+        };
         if ws > hw {
             out.push(Diagnostic::new(
                 Severity::Error,
                 cx.region_id,
                 "overflow-risk",
-                format!("working set {ws} exceeds the {hw}-register hardware file"),
+                format!("working set {ws} exceeds the {hw}-register hardware file{liar}"),
             ));
         } else if u64::from(ws) * 8 >= u64::from(hw) * 7 {
             out.push(Diagnostic::new(
@@ -189,7 +240,7 @@ impl LintPass for OverflowRisk {
                 "overflow-risk",
                 format!(
                     "working set {ws} uses >= 7/8 of the {hw}-register hardware file; \
-                     one more hoisted op risks an allocation overflow"
+                     one more hoisted op risks an allocation overflow{liar}"
                 ),
             ));
         }
@@ -201,6 +252,12 @@ impl LintPass for OverflowRisk {
 /// checker scans (`C`). The replay validator proves the same property
 /// end-to-end; this pass exists to localize the failure to the exact
 /// missing bit.
+///
+/// Range-aware: when the value-range analysis supplies address intervals
+/// ([`LintContext::addr`]) and the pair's access footprints are provably
+/// disjoint, the missing bit cannot cause a missed alias at runtime — the
+/// finding is downgraded from [`Severity::Error`] to
+/// [`Severity::Warning`] (the may-alias fact is stale, not the bits).
 pub struct UnprotectedSpeculation;
 
 impl LintPass for UnprotectedSpeculation {
@@ -213,16 +270,27 @@ impl LintPass for UnprotectedSpeculation {
     fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
         for (checker, checkee) in cx.facts.required_checks() {
             let witness = format!("{checker} ->check {checkee}");
+            let harmless = cx.addr.is_some_and(|addr| {
+                provably_disjoint(addr[checker.index()], addr[checkee.index()])
+            });
+            let (sev, note) = if harmless {
+                (
+                    Severity::Warning,
+                    " (derived address ranges are disjoint, so the pair cannot alias)",
+                )
+            } else {
+                (Severity::Error, "")
+            };
             match cx.alloc.op(checkee) {
                 Some(a) if a.p_bit => {}
                 _ => out.push(
                     Diagnostic::new(
-                        Severity::Error,
+                        sev,
                         cx.region_id,
                         "unprotected-speculation",
                         format!(
                             "{checkee} was reordered or stands in for an eliminated op \
-                             but sets no alias register"
+                             but sets no alias register{note}"
                         ),
                     )
                     .with_op(checkee)
@@ -233,10 +301,10 @@ impl LintPass for UnprotectedSpeculation {
                 Some(a) if a.c_bit => {}
                 _ => out.push(
                     Diagnostic::new(
-                        Severity::Error,
+                        sev,
                         cx.region_id,
                         "unprotected-speculation",
-                        format!("{checker} must check {checkee}'s register but has no C bit"),
+                        format!("{checker} must check {checkee}'s register but has no C bit{note}"),
                     )
                     .with_op(checker)
                     .with_witness(witness),
@@ -275,6 +343,17 @@ mod tests {
         alloc: &Allocation,
         num_regs: u32,
     ) -> Vec<Diagnostic> {
+        run_pass_ranged(pass, spec, schedule, alloc, num_regs, None)
+    }
+
+    fn run_pass_ranged(
+        pass: &dyn LintPass,
+        spec: &RegionSpec,
+        schedule: &[MemOpId],
+        alloc: &Allocation,
+        num_regs: u32,
+        addr: Option<&[Interval]>,
+    ) -> Vec<Diagnostic> {
         let facts = RegionFacts::derive(spec, schedule);
         let cx = LintContext {
             region_id: 0,
@@ -283,6 +362,7 @@ mod tests {
             alloc,
             num_regs,
             facts: &facts,
+            addr,
         };
         let mut out = Vec::new();
         pass.run(&cx, &mut out);
@@ -423,6 +503,102 @@ mod tests {
         let diags = run_pass(&OverflowRisk, &r, &sched, &alloc, ws);
         assert_eq!(diags.len(), 1, "{diags:?}");
         assert_eq!(diags[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn overflow_risk_ignores_understated_working_set_stat() {
+        let (r, sched, alloc) = figure2();
+        // Graft an AMOV referencing offset 3 into the code stream while
+        // the recorded working-set statistic stays at the original
+        // (smaller) value: the code stream now demands a 4-register file
+        // the statistic understates.
+        let m3 = MemOpId::new(3);
+        let tampered = with_code(&r, &alloc, |mut code| {
+            code.push(AliasCode::Amov(AmovInsn {
+                moved_op: m3,
+                src_offset: Offset(3),
+                dst_offset: Offset(3),
+                is_move: false,
+            }));
+            code
+        });
+        assert_eq!(derived_working_set(&tampered), 4);
+        assert!(tampered.working_set() < 4, "statistic must understate");
+        // Positive: one register short of the re-derived demand is an
+        // overflow, regardless of the lying statistic.
+        let diags = run_pass(&OverflowRisk, &r, &sched, &tampered, 3);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert!(diags[0].message.contains("understates"), "{diags:?}");
+        // Negative at the exact boundary: the demand just fits — crowding
+        // warning at most, never an error.
+        let diags = run_pass(&OverflowRisk, &r, &sched, &tampered, 4);
+        assert!(
+            diags.iter().all(|d| d.severity < Severity::Error),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn unprotected_speculation_disjoint_ranges_downgrade_to_warning() {
+        let (r, sched, alloc) = figure2();
+        // Strip the hoisted load's P bit so both its check-pairs fire.
+        let m3 = MemOpId::new(3);
+        let per_op: Vec<_> = (0..r.len())
+            .map(|i| {
+                let id = MemOpId::new(i);
+                let mut a = alloc.op(id).copied();
+                if id == m3 {
+                    if let Some(op_alias) = a.as_mut() {
+                        op_alias.p_bit = false;
+                    }
+                }
+                a
+            })
+            .collect();
+        let tampered = Allocation::from_parts(
+            per_op,
+            alloc.code().to_vec(),
+            alloc.working_set(),
+            alloc.stats(),
+            alloc.final_checks().to_vec(),
+        );
+        // Without range information: hard errors.
+        let diags = run_pass(&UnprotectedSpeculation, &r, &sched, &tampered, 64);
+        assert!(!diags.is_empty());
+        assert!(diags.iter().all(|d| d.severity == Severity::Error));
+        // Provably disjoint footprints: the missing bit cannot miss a real
+        // alias, so the findings downgrade to warnings.
+        let addrs = [
+            Interval::exact(0x000),
+            Interval::exact(0x100),
+            Interval::exact(0x200),
+            Interval::exact(0x300),
+        ];
+        let diags = run_pass_ranged(
+            &UnprotectedSpeculation,
+            &r,
+            &sched,
+            &tampered,
+            64,
+            Some(&addrs),
+        );
+        assert!(!diags.is_empty());
+        assert!(
+            diags.iter().all(|d| d.severity == Severity::Warning),
+            "{diags:?}"
+        );
+        // ⊤ addresses (nothing proven) must not downgrade.
+        let tops = [Interval::TOP; 4];
+        let diags = run_pass_ranged(
+            &UnprotectedSpeculation,
+            &r,
+            &sched,
+            &tampered,
+            64,
+            Some(&tops),
+        );
+        assert!(diags.iter().all(|d| d.severity == Severity::Error));
     }
 
     #[test]

@@ -107,6 +107,15 @@ impl RegionWriteMask {
                 | VliwOp::Nop => {}
             }
         }
+        // Fault injection for testing the testers: drop one written
+        // integer register from the mask, breaking the chain-boundary
+        // obligation that the mask covers the region's write-set. On
+        // rollback-free runs the mask only scopes checkpoints and
+        // scoreboard clearing, so execution oracles cannot see the bug —
+        // the static chain analyzer must.
+        if smarq::fault::drop_boundary_enabled() && m.ints != 0 {
+            m.ints &= !(1u64 << (63 - m.ints.leading_zeros()));
+        }
         m
     }
 }

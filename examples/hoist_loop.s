@@ -1,0 +1,22 @@
+; Hand-written guest kernel: a counted accumulation loop with a store to
+; a provably disjoint address ahead of the load — the canonical SMARQ
+; hoisting opportunity. The dynamic optimizer speculates the load above
+; the store under alias-register protection; `smarq lint examples/`
+; statically verifies the translations this program produces, and
+; `smarq lint examples/ --nospec 0x1000..0x1008` proves the same program
+; with speculation on the load's address range suppressed.
+b0:
+    iconst r1, 0
+    iconst r2, 400
+    iconst r3, 4096
+    iconst r5, 8192
+    jump b1
+b1:
+    st r1, [r5+0]
+    ld r4, [r3+0]
+    add r4, r4, r1
+    st r4, [r3+0]
+    addi r1, r1, 1
+    blt r1, r2, b1, b2
+b2:
+    halt

@@ -36,6 +36,7 @@ fn main() {
     let machine = MachineConfig::default();
     let analysis = AliasAnalysis::new(&sb);
     let (mut spec, map) = build_region_spec(&sb, &analysis);
+    let no_taint = vec![false; sb.ops.len()];
     let mut elims = elim::run_eliminations(
         &sb,
         &analysis,
@@ -43,6 +44,7 @@ fn main() {
         &map,
         &config,
         &AliasBlacklist::new(),
+        &no_taint,
     );
     elim::dce(&sb, &mut elims);
     let deps = DepGraph::compute(&spec);
@@ -54,6 +56,7 @@ fn main() {
         &config,
         &machine,
         &AliasBlacklist::new(),
+        &no_taint,
     );
     let res = sched::schedule(&work, &graph, &config, &machine, &spec, &deps, &map)
         .expect("scheduling succeeds");

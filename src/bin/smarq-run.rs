@@ -8,13 +8,23 @@
 //!                  [--async-translate] [--translate-workers N]
 //!                  [--translate-queue N] [--guests N] [--threads M]
 //!                  [--dump-region] [--compare] [--verify]
-//! smarq-run lint PATH... [--json FILE]
+//!                  [--nospec LO..HI[,..]]
+//! smarq-run lint PATH... [--json FILE] [--nospec LO..HI[,..]]
+//!                  [--deny CODE] [--allow CODE]
+//! smarq-run lint --list
 //! ```
 //!
 //! The `lint` subcommand statically verifies and lints every region the
 //! system forms for the given programs (or corpus directories) under every
-//! hardware scheme — see `crates/verify`. `--verify` enables the runtime's
-//! verify-on-emit mode for a normal run (also via `SMARQ_VERIFY=1`).
+//! hardware scheme — see `crates/verify`. `--list` prints the stable
+//! diagnostic code table; `--deny CODE` / `--allow CODE` raise/lower a
+//! code's severity before the exit status is decided. `--verify` enables
+//! the runtime's verify-on-emit mode for a normal run (also via
+//! `SMARQ_VERIFY=1`); with it, region→region link formation additionally
+//! runs the whole-chain static analyzer. `--nospec LO..HI[,..]` declares
+//! half-open unspeculatable address ranges (also via `SMARQ_NOSPEC`):
+//! the optimizer never schedules speculation that can touch them, and the
+//! chain analyzer proves none was.
 //! `--exec-tier functional` runs optimized regions on the fast functional
 //! tier with sampled cycle-sim tier-down checks (also via
 //! `SMARQ_EXEC_TIER=functional`); `--dispatch naive` disables region
@@ -57,6 +67,7 @@ struct Args {
     dump_region: bool,
     compare: bool,
     verify: bool,
+    nospec: Option<smarq::range::NospecRanges>,
 }
 
 fn usage() -> ExitCode {
@@ -66,49 +77,82 @@ fn usage() -> ExitCode {
          [--exec-tier cycle|functional] [--async-translate] \
          [--translate-workers N] [--translate-queue N] \
          [--guests N] [--threads M] \
-         [--dump-region] [--compare] [--verify]\n\
-         \x20      smarq-run lint PATH... [--json FILE]"
+         [--dump-region] [--compare] [--verify] [--nospec LO..HI[,..]]\n\
+         \x20      smarq-run lint PATH... [--json FILE] [--nospec LO..HI[,..]] \
+         [--deny CODE] [--allow CODE]\n\
+         \x20      smarq-run lint --list"
     );
     ExitCode::from(2)
 }
 
 fn cmd_lint(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--list") {
+        println!("code table version {}", smarq_verify::CODE_TABLE_VERSION);
+        for info in smarq_verify::CODES {
+            println!(
+                "{:<24} {:<9} {:<7} {}",
+                info.code,
+                info.origin.label(),
+                format!("{:?}", info.default_severity).to_lowercase(),
+                info.description
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
     let mut paths: Vec<&str> = Vec::new();
     let mut json_out: Option<std::path::PathBuf> = None;
+    let mut nospec = smarq::range::NospecRanges::none();
+    let mut deny: Vec<String> = Vec::new();
+    let mut allow: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
-        match args[i].as_str() {
-            "--json" => match args.get(i + 1) {
-                Some(v) => {
-                    json_out = Some(std::path::PathBuf::from(v));
-                    i += 2;
-                }
-                None => {
-                    eprintln!("--json needs a value");
-                    return usage();
-                }
-            },
-            flag if flag.starts_with('-') => {
-                eprintln!("unknown flag '{flag}'");
+        let flag = args[i].as_str();
+        if matches!(flag, "--json" | "--nospec" | "--deny" | "--allow") {
+            let Some(v) = args.get(i + 1) else {
+                eprintln!("{flag} needs a value");
                 return usage();
+            };
+            match flag {
+                "--json" => json_out = Some(std::path::PathBuf::from(v)),
+                "--nospec" => match smarq::range::NospecRanges::parse(v) {
+                    Ok(r) => nospec = r,
+                    Err(e) => {
+                        eprintln!("--nospec: {e}");
+                        return usage();
+                    }
+                },
+                "--deny" => deny.push(v.clone()),
+                _ => allow.push(v.clone()),
             }
-            p => {
-                paths.push(p);
-                i += 1;
-            }
+            i += 2;
+        } else if flag.starts_with('-') {
+            eprintln!("unknown flag '{flag}'");
+            return usage();
+        } else {
+            paths.push(flag);
+            i += 1;
         }
     }
     if paths.is_empty() {
         return usage();
     }
-    let path_refs: Vec<&std::path::Path> = paths.iter().map(std::path::Path::new).collect();
-    let outcome = match smarq_fuzz::lint_paths(&path_refs, |line| println!("[lint] {line}")) {
-        Ok(o) => o,
+    let policy = match smarq_verify::LintPolicy::new(deny, allow) {
+        Ok(p) => p,
         Err(e) => {
             eprintln!("smarq-run: {e}");
-            return ExitCode::from(1);
+            return usage();
         }
     };
+    let config = smarq_fuzz::LintConfig { nospec, policy };
+    let path_refs: Vec<&std::path::Path> = paths.iter().map(std::path::Path::new).collect();
+    let outcome =
+        match smarq_fuzz::lint_paths_with(&path_refs, &config, |line| println!("[lint] {line}")) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("smarq-run: {e}");
+                return ExitCode::from(1);
+            }
+        };
     println!(
         "[lint] {} entr(ies), {} region(s): {} error(s), {} warning(s)",
         outcome.entries, outcome.regions, outcome.errors, outcome.warnings
@@ -144,6 +188,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         dump_region: false,
         compare: false,
         verify: false,
+        nospec: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -206,6 +251,14 @@ fn parse_args() -> Result<Args, ExitCode> {
                     eprintln!("--threads must be at least 1");
                     return Err(usage());
                 }
+            }
+            "--nospec" => {
+                args.nospec = Some(
+                    smarq::range::NospecRanges::parse(&value("--nospec")?).map_err(|e| {
+                        eprintln!("--nospec: {e}");
+                        usage()
+                    })?,
+                );
             }
             "--dump-region" => args.dump_region = true,
             "--compare" => args.compare = true,
@@ -353,6 +406,9 @@ fn main() -> ExitCode {
     }
     if let Some(q) = args.translate_queue {
         cfg.translate_queue_depth = q;
+    }
+    if let Some(n) = args.nospec.clone() {
+        cfg.nospec_ranges = n;
     }
     if args.guests >= 2 {
         return run_multi_guests(program, cfg, &args);
